@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race short bench experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./... -timeout 1200s
+
+short:
+	$(GO) test ./... -short -timeout 600s
+
+race:
+	$(GO) test ./... -race -short -timeout 1800s
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 1800s ./...
+
+# Regenerate every experiment table and figure (EXPERIMENTS.md data).
+experiments:
+	$(GO) run ./cmd/dsmbench | tee bench_output_reference.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sor -rows 48 -cols 48 -iters 4
+	$(GO) run ./examples/taskqueue -tasks 60 -work 500
+	$(GO) run ./examples/tsp -cities 7
+	$(GO) run ./examples/pipeline
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

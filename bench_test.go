@@ -1,0 +1,197 @@
+package godsm_test
+
+// One testing.B benchmark per experiment in EXPERIMENTS.md. Each
+// iteration runs a complete (scaled-down) DSM episode — cluster
+// construction excluded where possible is not meaningful here
+// because protocol state is per-episode, so an episode IS the unit
+// of work. Custom metrics report the protocol costs (messages,
+// bytes, faults per episode) that the experiment tables are about;
+// wall time per episode is the standard ns/op.
+//
+// Regenerate the full experiment tables with: go run ./cmd/dsmbench
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// episode runs one workload episode and reports protocol metrics.
+func episode(b *testing.B, cfg core.Config, mk func() apps.App) {
+	b.Helper()
+	var msgs, bytes, faults int64
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(cfg, mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += res.Stats.MsgsSent
+		bytes += res.Stats.BytesSent
+		faults += res.Stats.Faults()
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "msgs/op")
+	b.ReportMetric(float64(bytes)/float64(b.N), "bytes/op")
+	b.ReportMetric(float64(faults)/float64(b.N), "faults/op")
+}
+
+// BenchmarkE2Speedup runs the speedup experiment's SOR episode at 1
+// and 8 nodes; the msgs/op and bytes/op metrics feed the analytic
+// network-cost model (see internal/bench.E2Speedup for why speedup is
+// modeled rather than wall-clocked).
+func BenchmarkE2Speedup(b *testing.B) {
+	for _, proto := range []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC} {
+		for _, nodes := range []int{1, 8} {
+			b.Run(proto.String()+"/n"+itoa(nodes), func(b *testing.B) {
+				episode(b, core.Config{
+					Nodes: nodes, Protocol: proto, PageSize: 2048, HeapBytes: 1 << 22,
+				}, func() apps.App { return apps.NewSOR(96, 256, 6) })
+			})
+		}
+	}
+}
+
+// BenchmarkE3Managers compares the four page-locating strategies.
+func BenchmarkE3Managers(b *testing.B) {
+	for _, proto := range []core.Protocol{core.SCCentral, core.SCFixed, core.SCDynamic, core.SCBroadcast} {
+		b.Run(proto.String(), func(b *testing.B) {
+			episode(b, core.Config{Nodes: 6, Protocol: proto, PageSize: 512, HeapBytes: 1 << 20},
+				func() apps.App { return apps.NewSOR(48, 32, 6) })
+		})
+	}
+}
+
+// BenchmarkE4Classes compares the Stumm & Zhou algorithm classes.
+func BenchmarkE4Classes(b *testing.B) {
+	for _, proto := range []core.Protocol{core.CentralServer, core.Migrate, core.SCFixed, core.FullReplication} {
+		b.Run(proto.String(), func(b *testing.B) {
+			episode(b, core.Config{Nodes: 5, Protocol: proto, PageSize: 512, HeapBytes: 1 << 20},
+				func() apps.App { return apps.NewMatMul(48) })
+		})
+	}
+}
+
+// BenchmarkE5PageSize sweeps page sizes on the false-sharing kernel.
+func BenchmarkE5PageSize(b *testing.B) {
+	for _, proto := range []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC} {
+		for _, ps := range []int{128, 512, 2048} {
+			b.Run(proto.String()+"/p"+itoa(ps), func(b *testing.B) {
+				episode(b, core.Config{Nodes: 5, Protocol: proto, PageSize: ps, HeapBytes: 1 << 21},
+					func() apps.App { return apps.NewFalseShare(12, 32) })
+			})
+		}
+	}
+}
+
+// BenchmarkE6UpdateInv compares invalidate and update propagation.
+func BenchmarkE6UpdateInv(b *testing.B) {
+	for _, proto := range []core.Protocol{core.SCFixed, core.ERCInvalidate, core.ERCUpdate} {
+		b.Run(proto.String(), func(b *testing.B) {
+			episode(b, core.Config{Nodes: 5, Protocol: proto, PageSize: 512, HeapBytes: 1 << 20},
+				func() apps.App { return apps.NewSOR(48, 32, 6) })
+		})
+	}
+}
+
+// BenchmarkE7LazyEager compares eager and lazy release consistency.
+func BenchmarkE7LazyEager(b *testing.B) {
+	for _, proto := range []core.Protocol{core.ERCInvalidate, core.LRC} {
+		b.Run(proto.String(), func(b *testing.B) {
+			episode(b, core.Config{Nodes: 5, Protocol: proto, PageSize: 512, HeapBytes: 1 << 20},
+				func() apps.App { return apps.NewTaskQueue(64, 300) })
+		})
+	}
+}
+
+// BenchmarkE8Entry compares entry consistency against the paged
+// protocols on a lock-only workload.
+func BenchmarkE8Entry(b *testing.B) {
+	for _, proto := range []core.Protocol{core.SCFixed, core.LRC, core.EC} {
+		b.Run(proto.String(), func(b *testing.B) {
+			episode(b, core.Config{Nodes: 5, Protocol: proto, PageSize: 512, HeapBytes: 1 << 20},
+				func() apps.App { return apps.NewTaskQueue(64, 300) })
+		})
+	}
+}
+
+// BenchmarkE9Locks measures contended lock handoff throughput.
+func BenchmarkE9Locks(b *testing.B) {
+	for _, nodes := range []int{4, 16} {
+		b.Run("n"+itoa(nodes), func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{Nodes: nodes, Protocol: core.SCFixed, PageSize: 256, HeapBytes: 1 << 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			err = c.Run(func(n *core.Node) error {
+				for i := 0; i < b.N; i++ {
+					if err := n.Acquire(1); err != nil {
+						return err
+					}
+					if err := n.Release(1); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE9Barriers measures barrier cost, central vs tree.
+func BenchmarkE9Barriers(b *testing.B) {
+	for _, tree := range []bool{false, true} {
+		name := "central"
+		if tree {
+			name = "tree"
+		}
+		b.Run(name+"/n16", func(b *testing.B) {
+			c, err := core.NewCluster(core.Config{
+				Nodes: 16, Protocol: core.SCFixed, PageSize: 256, HeapBytes: 1 << 16,
+				TreeBarrier: tree, TreeFanout: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			b.ResetTimer()
+			err = c.Run(func(n *core.Node) error {
+				for i := 0; i < b.N; i++ {
+					if err := n.Barrier(0); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkE10Diff exercises the twin/diff machinery through the LRC
+// protocol on a diff-heavy workload.
+func BenchmarkE10Diff(b *testing.B) {
+	episode(b, core.Config{Nodes: 5, Protocol: core.LRC, PageSize: 4096, HeapBytes: 1 << 21},
+		func() apps.App { return apps.NewFalseShare(12, 32) })
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

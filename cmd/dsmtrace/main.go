@@ -1,0 +1,167 @@
+// dsmtrace runs a tiny annotated DSM episode and prints every
+// protocol message as it is delivered — a tutorial view of what a
+// page fault, an invalidation, a lock handoff, or a barrier actually
+// costs under each protocol.
+//
+//	dsmtrace                 # producer-consumer under sc-fixed
+//	dsmtrace -proto lrc      # same episode under lazy release consistency
+//	dsmtrace -scenario lock  # a contended lock handoff
+//	dsmtrace -scenario event -proto ec  # data delivered by an event firing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func main() {
+	protoName := flag.String("proto", "sc-fixed", "protocol")
+	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event")
+	flag.Parse()
+
+	var proto core.Protocol
+	found := false
+	for _, p := range core.Protocols() {
+		if p.String() == *protoName {
+			proto, found = p, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown protocol %q", *protoName)
+	}
+
+	var mu sync.Mutex
+	start := time.Now()
+	cfg := core.Config{
+		Nodes:    3,
+		Protocol: proto,
+		PageSize: 256,
+		Trace: func(m *wire.Msg) {
+			mu.Lock()
+			fmt.Printf("%8.3fms  %s\n", float64(time.Since(start).Microseconds())/1000, m)
+			mu.Unlock()
+		},
+	}
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	data := c.MustAlloc(64)
+	flagAddr := c.MustAlloc(8)
+	counter := c.MustAlloc(8)
+	c.Bind(1, counter, 8)
+
+	fmt.Printf("=== scenario %q under %s (3 nodes) ===\n", *scenario, proto)
+	start = time.Now()
+
+	switch *scenario {
+	case "producer":
+		if proto.ReleaseConsistent() {
+			fmt.Fprintln(os.Stderr, "note: flag spinning is only legal under the SC protocols; using barrier handoff")
+			err = c.Run(func(n *core.Node) error {
+				if n.ID() == 0 {
+					for i := int64(0); i < 4; i++ {
+						if err := n.WriteUint64(data+8*i, uint64(i+1)); err != nil {
+							return err
+						}
+					}
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+				if n.ID() != 0 {
+					v, err := n.ReadUint64(data)
+					if err != nil {
+						return err
+					}
+					_ = v
+				}
+				return nil
+			})
+		} else {
+			err = c.Run(func(n *core.Node) error {
+				if n.ID() == 0 {
+					for i := int64(0); i < 4; i++ {
+						if err := n.WriteUint64(data+8*i, uint64(i+1)); err != nil {
+							return err
+						}
+					}
+					return n.WriteUint64(flagAddr, 1)
+				}
+				for {
+					v, err := n.ReadUint64(flagAddr)
+					if err != nil {
+						return err
+					}
+					if v == 1 {
+						break
+					}
+				}
+				_, err := n.ReadUint64(data)
+				return err
+			})
+		}
+	case "lock":
+		err = c.Run(func(n *core.Node) error {
+			for i := 0; i < 2; i++ {
+				if err := n.Acquire(1); err != nil {
+					return err
+				}
+				v, err := n.ReadUint64(counter)
+				if err != nil {
+					return err
+				}
+				if err := n.WriteUint64(counter, v+1); err != nil {
+					return err
+				}
+				if err := n.Release(1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case "barrier":
+		err = c.Run(func(n *core.Node) error {
+			for i := 0; i < 2; i++ {
+				if err := n.WriteUint64(data+int64(n.ID())*8, uint64(i)); err != nil {
+					return err
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	case "event":
+		c.BindEvent(2, data, 32)
+		err = c.Run(func(n *core.Node) error {
+			if n.ID() == 0 {
+				if err := n.WriteUint64(data, 123); err != nil {
+					return err
+				}
+				return n.EventSet(2)
+			}
+			if err := n.EventWait(2); err != nil {
+				return err
+			}
+			_, err := n.ReadUint64(data)
+			return err
+		})
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := c.TotalStats()
+	fmt.Printf("=== done: %d messages, %d bytes, %d faults ===\n", s.MsgsSent, s.BytesSent, s.Faults())
+}

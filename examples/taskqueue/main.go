@@ -1,0 +1,59 @@
+// Task queue example: a producer-consumer farm over a lock-protected
+// shared queue — the mutual-exclusion-bound workload on which entry
+// consistency's data-carrying lock grants shine. Compares the
+// lock-handoff costs of SC, LRC and EC on identical work.
+//
+//	go run ./examples/taskqueue -tasks 400 -work 2000 -nodes 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+func main() {
+	tasks := flag.Int("tasks", 200, "number of tasks")
+	work := flag.Int("work", 1500, "busy-work iterations per task")
+	nodes := flag.Int("nodes", 4, "cluster size")
+	latency := flag.Duration("latency", 20*time.Microsecond, "per-message latency")
+	flag.Parse()
+
+	fmt.Printf("task farm: %d tasks x %d work, %d nodes, %v latency\n\n", *tasks, *work, *nodes, *latency)
+	fmt.Printf("%-10s %12s %10s %10s %12s %14s\n",
+		"protocol", "time", "locks", "msgs", "bytes", "grant_payload")
+
+	for _, proto := range []core.Protocol{core.SCFixed, core.LRC, core.EC} {
+		app := apps.NewTaskQueue(*tasks, *work)
+		c, err := core.NewCluster(core.Config{
+			Nodes:     *nodes,
+			Protocol:  proto,
+			PageSize:  512,
+			HeapBytes: 1 << 22,
+			Latency:   *latency,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := app.Setup(c); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		if err := c.Run(app.Run); err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if err := app.Verify(c); err != nil {
+			log.Fatalf("%s: verification failed: %v", proto, err)
+		}
+		s := c.TotalStats()
+		fmt.Printf("%-10s %12v %10d %10d %12d %14d\n",
+			proto, elapsed.Round(time.Millisecond), s.LockAcquires, s.MsgsSent, s.BytesSent, s.GrantPayloadBytes)
+		c.Close()
+	}
+	fmt.Println("\nevery task result matched the reference computation (verified)")
+}

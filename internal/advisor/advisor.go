@@ -1,0 +1,208 @@
+// Package advisor classifies the sharing pattern of every shared
+// page from observed accesses — the analysis behind Munin's
+// type-specific protocols (Carter et al.): different sharing classes
+// want different coherence mechanisms, and annotating data with its
+// class was how Munin picked them. Here the classes are inferred
+// from per-node read/write counts and reported together with the
+// protocol this repository's measurements favour for each class.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Class is a page sharing pattern.
+type Class int
+
+const (
+	// Unused: never accessed.
+	Unused Class = iota
+	// Private: accessed by exactly one node.
+	Private
+	// ReadOnly: read by several nodes, written by none (after the
+	// single-writer initialization, if any).
+	ReadOnly
+	// ProducerConsumer: written by one node, read by others.
+	ProducerConsumer
+	// Migratory: written and read by several nodes, each node reading
+	// roughly as much as it writes (read-modify-write under a lock).
+	Migratory
+	// WriteShared: written by several nodes that mostly touch their
+	// own data (false sharing at page granularity).
+	WriteShared
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Unused:
+		return "unused"
+	case Private:
+		return "private"
+	case ReadOnly:
+		return "read-only"
+	case ProducerConsumer:
+		return "producer-consumer"
+	case Migratory:
+		return "migratory"
+	case WriteShared:
+		return "write-shared"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Recommendation returns the coherence mechanism the experiments in
+// EXPERIMENTS.md favour for the class.
+func (c Class) Recommendation() string {
+	switch c {
+	case Private:
+		return "any (page stays home after first touch)"
+	case ReadOnly:
+		return "read replication (sc-*), or any RC protocol"
+	case ProducerConsumer:
+		return "update propagation (erc-update) or events with bound data (ec)"
+	case Migratory:
+		return "lock-bound data (ec/ec-diff) or lazy RC (lrc)"
+	case WriteShared:
+		return "multiple-writer twins/diffs (lrc, erc-*); avoid single-writer sc-*"
+	default:
+		return "n/a"
+	}
+}
+
+// Collector accumulates per-(page, node) access counts. All methods
+// are safe for concurrent use.
+type Collector struct {
+	nodes  int
+	pages  int
+	counts []atomic.Int64 // [page][node][rw]: reads at 0, writes at 1
+}
+
+// New creates a collector for the given page and node counts.
+func New(pages, nodes int) *Collector {
+	return &Collector{
+		nodes:  nodes,
+		pages:  pages,
+		counts: make([]atomic.Int64, pages*nodes*2),
+	}
+}
+
+func (c *Collector) idx(page int32, node int, write bool) int {
+	i := (int(page)*c.nodes + node) * 2
+	if write {
+		i++
+	}
+	return i
+}
+
+// Observe records one access.
+func (c *Collector) Observe(node int, page int32, write bool) {
+	c.counts[c.idx(page, node, write)].Add(1)
+}
+
+// Reads returns node's read count on page.
+func (c *Collector) Reads(page int32, node int) int64 {
+	return c.counts[c.idx(page, node, false)].Load()
+}
+
+// Writes returns node's write count on page.
+func (c *Collector) Writes(page int32, node int) int64 {
+	return c.counts[c.idx(page, node, true)].Load()
+}
+
+// Classify labels one page.
+func (c *Collector) Classify(page int32) Class {
+	var readers, writers, accessors int
+	var totalR, totalW int64
+	var rmwNodes int
+	for n := 0; n < c.nodes; n++ {
+		r := c.Reads(page, n)
+		w := c.Writes(page, n)
+		if r+w > 0 {
+			accessors++
+		}
+		if r > 0 {
+			readers++
+		}
+		if w > 0 {
+			writers++
+		}
+		// A node whose writes are at least a third of its accesses is
+		// doing read-modify-write rather than consuming.
+		if w > 0 && 3*w >= r {
+			rmwNodes++
+		}
+		totalR += r
+		totalW += w
+	}
+	switch {
+	case accessors == 0:
+		return Unused
+	case accessors == 1:
+		return Private
+	case writers == 0:
+		return ReadOnly
+	case writers == 1:
+		return ProducerConsumer
+	case rmwNodes >= 2 && totalW*2 >= totalR:
+		return Migratory
+	default:
+		return WriteShared
+	}
+}
+
+// Summary is the per-class aggregate of a report.
+type Summary struct {
+	Class  Class
+	Pages  int
+	Reads  int64
+	Writes int64
+}
+
+// Summarize classifies every page and aggregates by class,
+// most-populated class first.
+func (c *Collector) Summarize() []Summary {
+	agg := map[Class]*Summary{}
+	for p := 0; p < c.pages; p++ {
+		cl := c.Classify(int32(p))
+		s, ok := agg[cl]
+		if !ok {
+			s = &Summary{Class: cl}
+			agg[cl] = s
+		}
+		s.Pages++
+		for n := 0; n < c.nodes; n++ {
+			s.Reads += c.Reads(int32(p), n)
+			s.Writes += c.Writes(int32(p), n)
+		}
+	}
+	out := make([]Summary, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Pages != out[b].Pages {
+			return out[a].Pages > out[b].Pages
+		}
+		return out[a].Class < out[b].Class
+	})
+	return out
+}
+
+// Report renders the classification with recommendations, skipping
+// unused pages.
+func (c *Collector) Report() string {
+	t := stats.NewTable("pattern", "pages", "reads", "writes", "suggested mechanism")
+	for _, s := range c.Summarize() {
+		if s.Class == Unused {
+			continue
+		}
+		t.AddRow(s.Class.String(), s.Pages, s.Reads, s.Writes, s.Class.Recommendation())
+	}
+	return t.String()
+}

@@ -1,0 +1,102 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassification(t *testing.T) {
+	c := New(6, 4)
+	// Page 0: unused.
+	// Page 1: private — only node 2 touches it.
+	for i := 0; i < 10; i++ {
+		c.Observe(2, 1, i%2 == 0)
+	}
+	// Page 2: read-only — everyone reads, nobody writes.
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 20; i++ {
+			c.Observe(n, 2, false)
+		}
+	}
+	// Page 3: producer-consumer — node 0 writes, others read.
+	for i := 0; i < 10; i++ {
+		c.Observe(0, 3, true)
+	}
+	for n := 1; n < 4; n++ {
+		for i := 0; i < 30; i++ {
+			c.Observe(n, 3, false)
+		}
+	}
+	// Page 4: migratory — every node does read-modify-write.
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 10; i++ {
+			c.Observe(n, 4, false)
+			c.Observe(n, 4, true)
+		}
+	}
+	// Page 5: write-shared — many writers but read-dominated
+	// (each node scans the page, updates only its own slice).
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 40; i++ {
+			c.Observe(n, 5, false)
+		}
+		for i := 0; i < 5; i++ {
+			c.Observe(n, 5, true)
+		}
+	}
+	want := map[int32]Class{
+		0: Unused, 1: Private, 2: ReadOnly,
+		3: ProducerConsumer, 4: Migratory, 5: WriteShared,
+	}
+	for pg, cl := range want {
+		if got := c.Classify(pg); got != cl {
+			t.Errorf("page %d classified %v, want %v", pg, got, cl)
+		}
+	}
+}
+
+func TestSummarizeAndReport(t *testing.T) {
+	c := New(3, 2)
+	c.Observe(0, 0, true)
+	c.Observe(0, 1, false)
+	c.Observe(1, 1, false)
+	sums := c.Summarize()
+	total := 0
+	for _, s := range sums {
+		total += s.Pages
+	}
+	if total != 3 {
+		t.Fatalf("summaries cover %d pages, want 3", total)
+	}
+	rep := c.Report()
+	if strings.Contains(rep, "unused") {
+		t.Fatalf("report includes unused pages:\n%s", rep)
+	}
+	if !strings.Contains(rep, "private") || !strings.Contains(rep, "read-only") {
+		t.Fatalf("report missing classes:\n%s", rep)
+	}
+}
+
+func TestClassStringsAndRecommendations(t *testing.T) {
+	for _, cl := range []Class{Unused, Private, ReadOnly, ProducerConsumer, Migratory, WriteShared} {
+		if strings.HasPrefix(cl.String(), "Class(") {
+			t.Errorf("class %d unnamed", int(cl))
+		}
+		if cl != Unused && cl.Recommendation() == "n/a" {
+			t.Errorf("class %v has no recommendation", cl)
+		}
+	}
+}
+
+func TestCountsAccessors(t *testing.T) {
+	c := New(2, 2)
+	c.Observe(1, 0, false)
+	c.Observe(1, 0, true)
+	c.Observe(1, 0, true)
+	if c.Reads(0, 1) != 1 || c.Writes(0, 1) != 2 {
+		t.Fatalf("counts = %d reads, %d writes", c.Reads(0, 1), c.Writes(0, 1))
+	}
+	if c.Reads(0, 0) != 0 || c.Reads(1, 1) != 0 {
+		t.Fatal("untouched counters non-zero")
+	}
+}

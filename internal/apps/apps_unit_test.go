@@ -1,0 +1,216 @@
+package apps
+
+import "testing"
+
+// Unit tests for the workload helpers (the integration matrix covers
+// the apps themselves end to end).
+
+func TestBandPartition(t *testing.T) {
+	cases := []struct {
+		rows, nodes int
+	}{
+		{10, 3}, {24, 5}, {7, 7}, {5, 8}, {1, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		covered := 0
+		prevHi := 0
+		for id := 0; id < c.nodes; id++ {
+			lo, hi := band(c.rows, c.nodes, id)
+			if lo != prevHi {
+				t.Fatalf("band(%d,%d,%d): gap/overlap at %d (lo=%d)", c.rows, c.nodes, id, prevHi, lo)
+			}
+			if hi < lo {
+				t.Fatalf("band(%d,%d,%d): negative band [%d,%d)", c.rows, c.nodes, id, lo, hi)
+			}
+			// Balanced within one row.
+			if hi-lo > c.rows/c.nodes+1 {
+				t.Fatalf("band(%d,%d,%d): size %d unbalanced", c.rows, c.nodes, id, hi-lo)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != c.rows || prevHi != c.rows {
+			t.Fatalf("band(%d,%d): covered %d rows", c.rows, c.nodes, covered)
+		}
+	}
+}
+
+func TestPrngDeterministic(t *testing.T) {
+	a, b := newPrng(7), newPrng(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newPrng(8)
+	same := 0
+	a2 := newPrng(7)
+	for i := 0; i < 100; i++ {
+		if a2.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100 times", same)
+	}
+	f := newPrng(3)
+	for i := 0; i < 1000; i++ {
+		v := f.float()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float out of range: %v", v)
+		}
+	}
+}
+
+func TestBitrev(t *testing.T) {
+	cases := []struct{ i, n, want int }{
+		{0, 8, 0}, {1, 8, 4}, {2, 8, 2}, {3, 8, 6}, {4, 8, 1},
+		{1, 16, 8}, {5, 16, 10},
+	}
+	for _, c := range cases {
+		if got := bitrev(c.i, c.n); got != c.want {
+			t.Errorf("bitrev(%d,%d) = %d, want %d", c.i, c.n, got, c.want)
+		}
+	}
+	// Involution: rev(rev(i)) == i.
+	for n := 4; n <= 64; n <<= 1 {
+		for i := 0; i < n; i++ {
+			if bitrev(bitrev(i, n), n) != i {
+				t.Fatalf("bitrev not involutive at (%d,%d)", i, n)
+			}
+		}
+	}
+}
+
+func TestTSPHelpers(t *testing.T) {
+	p := withCity(0, 0, 3)
+	p = withCity(p, 1, 7)
+	p = withCity(p, 2, 1)
+	if pathCity(p, 0) != 3 || pathCity(p, 1) != 7 || pathCity(p, 2) != 1 {
+		t.Fatalf("path packing broken: %x", p)
+	}
+	a := NewTSP(6)
+	// The sequential solver must be deterministic and return a real
+	// tour cost (at most the naive 0->1->...->0 path).
+	best := a.seqBest()
+	if best <= 0 || best >= tspInf {
+		t.Fatalf("seqBest = %d", best)
+	}
+	if best != a.seqBest() {
+		t.Fatal("seqBest not deterministic")
+	}
+	d := a.dist()
+	naive := int64(0)
+	for i := 0; i < 6; i++ {
+		naive += d[i][(i+1)%6]
+	}
+	if best > naive {
+		t.Fatalf("optimum %d worse than naive tour %d", best, naive)
+	}
+	// Distances symmetric with zero diagonal.
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("d[%d][%d] = %d", i, i, d[i][i])
+		}
+		for j := range d {
+			if d[i][j] != d[j][i] {
+				t.Fatal("asymmetric distances")
+			}
+		}
+	}
+}
+
+func TestTSPBadSizePanics(t *testing.T) {
+	for _, n := range []int{1, 9} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTSP(%d) did not panic", n)
+				}
+			}()
+			NewTSP(n)
+		}()
+	}
+}
+
+func TestFFTBadSizePanics(t *testing.T) {
+	for _, n := range []int{3, 6, 2} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFFT(%d) did not panic", n)
+				}
+			}()
+			NewFFT(n)
+		}()
+	}
+}
+
+func TestSuitesWellFormed(t *testing.T) {
+	for _, scale := range []Scale{Small, Medium} {
+		all := All(scale)
+		if len(all) < 8 {
+			t.Fatalf("suite at scale %d has only %d apps", scale, len(all))
+		}
+		names := map[string]bool{}
+		locks := 0
+		for _, a := range all {
+			if a.Name() == "" {
+				t.Fatal("unnamed app")
+			}
+			if names[a.Name()] {
+				t.Fatalf("duplicate app name %s", a.Name())
+			}
+			names[a.Name()] = true
+			if a.LocksOnly() {
+				locks++
+			}
+		}
+		if locks < 3 {
+			t.Fatalf("only %d lock-only apps; EC matrix would be thin", locks)
+		}
+		if got := len(LockApps(scale)); got != locks {
+			t.Fatalf("LockApps = %d, want %d", got, locks)
+		}
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	if transform(5, 2) != transform(5, 2) {
+		t.Fatal("transform not deterministic")
+	}
+	if transform(5, 2) == transform(5, 3) {
+		t.Fatal("stage does not affect transform")
+	}
+}
+
+func TestSORReferenceBoundaries(t *testing.T) {
+	a := NewSOR(8, 8, 2)
+	g := a.reference()
+	// Boundary values must be untouched by relaxation.
+	for c := 0; c < 8; c++ {
+		if g[c] != initial(0, c, 8, 8) {
+			t.Fatalf("top boundary changed at col %d", c)
+		}
+		if g[7*8+c] != initial(7, c, 8, 8) {
+			t.Fatalf("bottom boundary changed at col %d", c)
+		}
+	}
+	// Interior must have moved toward the boundary average.
+	if g[3*8+4] == 0 {
+		t.Fatal("interior never updated")
+	}
+}
+
+func TestNBodyReferenceConservesDeterminism(t *testing.T) {
+	a := NewNBody(12, 2)
+	x1, y1 := a.reference()
+	x2, y2 := a.reference()
+	for i := range x1 {
+		if x1[i] != x2[i] || y1[i] != y2[i] {
+			t.Fatal("n-body reference not deterministic")
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FalseShare is the false-sharing microkernel of experiment E5:
+// every node repeatedly increments its own private slots, but the
+// slots of all nodes are packed into the same pages. Single-writer
+// protocols ping-pong page ownership on every increment; multiple-
+// writer (twin/diff) protocols pay only a diff per barrier round.
+// The program is data-race-free — writes are byte-disjoint and each
+// round is separated by a barrier.
+type FalseShare struct {
+	rounds int
+	slots  int // per node, 8 bytes each
+	addr   int64
+	nodes  int
+}
+
+// NewFalseShare creates a kernel of `rounds` barrier rounds with
+// `slots` packed counters per node.
+func NewFalseShare(rounds, slots int) *FalseShare {
+	return &FalseShare{rounds: rounds, slots: slots}
+}
+
+// Name implements App.
+func (a *FalseShare) Name() string { return fmt.Sprintf("falseshare-%dx%d", a.rounds, a.slots) }
+
+// LocksOnly implements App.
+func (a *FalseShare) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (a *FalseShare) Setup(c *core.Cluster) error {
+	a.nodes = c.N()
+	var err error
+	// Deliberately not page-aligned per node: the whole point is
+	// that different nodes' slots cohabit pages.
+	if a.addr, err = c.AllocPage(int64(a.nodes) * int64(a.slots) * 8); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (a *FalseShare) slot(node, s int) int64 {
+	return a.addr + (int64(node)*int64(a.slots)+int64(s))*8
+}
+
+// Run implements App.
+func (a *FalseShare) Run(n *core.Node) error {
+	for r := 0; r < a.rounds; r++ {
+		for s := 0; s < a.slots; s++ {
+			addr := a.slot(n.ID(), s)
+			v, err := n.ReadUint64(addr)
+			if err != nil {
+				return err
+			}
+			if err := n.WriteUint64(addr, v+1); err != nil {
+				return err
+			}
+		}
+		if err := n.Barrier(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify implements App.
+func (a *FalseShare) Verify(c *core.Cluster) error {
+	n0 := c.Node(0)
+	for node := 0; node < a.nodes; node++ {
+		for s := 0; s < a.slots; s++ {
+			got, err := n0.ReadUint64(a.slot(node, s))
+			if err != nil {
+				return err
+			}
+			if got != uint64(a.rounds) {
+				return fmt.Errorf("falseshare: slot (%d,%d) = %d, want %d", node, s, got, a.rounds)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// FFT is an in-place iterative radix-2 Cooley-Tukey transform over a
+// block-distributed complex vector — the other numerical kernel the
+// early DSM evaluations report. Early stages are node-local; once the
+// butterfly stride reaches the block size every pair spans two nodes,
+// producing the all-to-all-ish sharing phase that distinguishes the
+// protocols. The pair is computed by the owner of its lower index,
+// which also writes the (remote) upper element — writes stay disjoint
+// within a stage, and a barrier separates stages, so the program is
+// data-race-free.
+type FFT struct {
+	n    int   // vector length, a power of two
+	data int64 // n complex values: (re, im) float64 pairs
+}
+
+// NewFFT creates a transform of length n (a power of two >= 4).
+func NewFFT(n int) *FFT {
+	if n < 4 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("apps: FFT length %d is not a power of two >= 4", n))
+	}
+	return &FFT{n: n}
+}
+
+// Name implements App.
+func (a *FFT) Name() string { return fmt.Sprintf("fft-%d", a.n) }
+
+// LocksOnly implements App.
+func (a *FFT) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (a *FFT) Setup(c *core.Cluster) error {
+	addr, err := c.AllocPage(int64(a.n) * 16)
+	if err != nil {
+		return err
+	}
+	a.data = addr
+	return nil
+}
+
+func (a *FFT) re(i int) int64 { return a.data + int64(i)*16 }
+func (a *FFT) im(i int) int64 { return a.data + int64(i)*16 + 8 }
+
+// input is the deterministic source signal.
+func input(i, n int) (float64, float64) {
+	x := float64(i) / float64(n)
+	return math.Sin(2*math.Pi*3*x) + 0.5*math.Cos(2*math.Pi*7*x), 0.25 * math.Sin(2*math.Pi*11*x)
+}
+
+// bitrev reverses the low bits of i for a transform of length n.
+func bitrev(i, n int) int {
+	r := 0
+	for n >>= 1; n > 0; n >>= 1 {
+		r = r<<1 | i&1
+		i >>= 1
+	}
+	return r
+}
+
+// Run implements App.
+func (a *FFT) Run(nd *core.Node) error {
+	lo, hi := band(a.n, nd.N(), nd.ID())
+	// Each node writes its own block with the bit-reverse-permuted
+	// input, computed locally — no communication for the permutation.
+	for i := lo; i < hi; i++ {
+		re, im := input(bitrev(i, a.n), a.n)
+		if err := nd.WriteFloat64(a.re(i), re); err != nil {
+			return err
+		}
+		if err := nd.WriteFloat64(a.im(i), im); err != nil {
+			return err
+		}
+	}
+	if err := nd.Barrier(0); err != nil {
+		return err
+	}
+	for d := 1; d < a.n; d <<= 1 {
+		ang := -math.Pi / float64(d)
+		for k := 0; k < a.n; k += 2 * d {
+			for j := 0; j < d; j++ {
+				i1 := k + j
+				if i1 < lo || i1 >= hi {
+					continue // the owner of the lower index computes the pair
+				}
+				i2 := i1 + d
+				wr := math.Cos(ang * float64(j))
+				wi := math.Sin(ang * float64(j))
+				x1r, err := nd.ReadFloat64(a.re(i1))
+				if err != nil {
+					return err
+				}
+				x1i, err := nd.ReadFloat64(a.im(i1))
+				if err != nil {
+					return err
+				}
+				x2r, err := nd.ReadFloat64(a.re(i2))
+				if err != nil {
+					return err
+				}
+				x2i, err := nd.ReadFloat64(a.im(i2))
+				if err != nil {
+					return err
+				}
+				tr := wr*x2r - wi*x2i
+				ti := wr*x2i + wi*x2r
+				if err := nd.WriteFloat64(a.re(i1), x1r+tr); err != nil {
+					return err
+				}
+				if err := nd.WriteFloat64(a.im(i1), x1i+ti); err != nil {
+					return err
+				}
+				if err := nd.WriteFloat64(a.re(i2), x1r-tr); err != nil {
+					return err
+				}
+				if err := nd.WriteFloat64(a.im(i2), x1i-ti); err != nil {
+					return err
+				}
+			}
+		}
+		if err := nd.Barrier(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reference computes the identical transform sequentially.
+func (a *FFT) reference() ([]float64, []float64) {
+	re := make([]float64, a.n)
+	im := make([]float64, a.n)
+	for i := 0; i < a.n; i++ {
+		re[i], im[i] = input(bitrev(i, a.n), a.n)
+	}
+	for d := 1; d < a.n; d <<= 1 {
+		ang := -math.Pi / float64(d)
+		for k := 0; k < a.n; k += 2 * d {
+			for j := 0; j < d; j++ {
+				i1, i2 := k+j, k+j+d
+				wr := math.Cos(ang * float64(j))
+				wi := math.Sin(ang * float64(j))
+				tr := wr*re[i2] - wi*im[i2]
+				ti := wr*im[i2] + wi*re[i2]
+				re[i1], re[i2] = re[i1]+tr, re[i1]-tr
+				im[i1], im[i2] = im[i1]+ti, im[i1]-ti
+			}
+		}
+	}
+	return re, im
+}
+
+// Verify implements App.
+func (a *FFT) Verify(c *core.Cluster) error {
+	wr, wi := a.reference()
+	n0 := c.Node(0)
+	for i := 0; i < a.n; i++ {
+		gr, err := n0.ReadFloat64(a.re(i))
+		if err != nil {
+			return err
+		}
+		gi, err := n0.ReadFloat64(a.im(i))
+		if err != nil {
+			return err
+		}
+		if abs(gr-wr[i]) > 1e-9 || abs(gi-wi[i]) > 1e-9 {
+			return fmt.Errorf("fft: bin %d = (%g,%g), want (%g,%g)", i, gr, gi, wr[i], wi[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package apps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The fuzz harness generates random data-race-free programs: a set of
+// shared slots, each owned by one lock; nodes run random sequences of
+// lock-protected read-modify-write phases with periodic barriers.
+// Inside a critical section the DSM value is compared against a
+// host-side shadow model guarded by the same critical section (the
+// DSM lock's release->grant handoff is a Go happens-before edge, so
+// the shadow is race-free too). After each barrier, the full state is
+// verified (under locks for EC, which only guarantees bound data
+// while holding its lock).
+
+type fuzzRNG struct{ s uint64 }
+
+func (r *fuzzRNG) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+
+func runFuzz(t *testing.T, proto core.Protocol, seed uint64, nodes, slots, locks, rounds int) {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		Nodes:     nodes,
+		Protocol:  proto,
+		PageSize:  256,
+		HeapBytes: 1 << 18,
+		Seed:      int64(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	base := c.MustAlloc(int64(slots) * 8)
+	slotLock := func(s int) int32 { return int32(1 + s%locks) }
+	for s := 0; s < slots; s++ {
+		c.Bind(slotLock(s), base+int64(s)*8, 8)
+	}
+	shadow := make([]uint64, slots) // guarded by the slot's DSM lock
+
+	err = c.Run(func(n *core.Node) error {
+		rng := fuzzRNG{s: seed + uint64(n.ID())*7919}
+		for round := 0; round < rounds; round++ {
+			steps := 4 + int(rng.next()%8)
+			for i := 0; i < steps; i++ {
+				lock := int32(1 + int(rng.next())%locks)
+				if err := n.Acquire(lock); err != nil {
+					return err
+				}
+				// Touch every slot owned by this lock: verify, then
+				// maybe mutate.
+				for s := int(lock) - 1; s < slots; s += locks {
+					addr := base + int64(s)*8
+					got, err := n.ReadUint64(addr)
+					if err != nil {
+						return err
+					}
+					if got != shadow[s] {
+						return fmt.Errorf("node %d round %d: slot %d = %d, shadow %d", n.ID(), round, s, got, shadow[s])
+					}
+					if rng.next()%2 == 0 {
+						v := rng.next()
+						if err := n.WriteUint64(addr, v); err != nil {
+							return err
+						}
+						shadow[s] = v
+					}
+				}
+				if err := n.Release(lock); err != nil {
+					return err
+				}
+			}
+			if err := n.Barrier(0); err != nil {
+				return err
+			}
+			// Post-barrier verification. The shadow is stable here
+			// (nobody writes between barriers' verify phases... writes
+			// resume only after the next barrier below).
+			if proto == core.EC || proto == core.ECDiff {
+				// EC: bound data is only valid under its lock.
+				if n.ID() == round%nodes {
+					for l := int32(1); l <= int32(locks); l++ {
+						if err := n.Acquire(l); err != nil {
+							return err
+						}
+						for s := int(l) - 1; s < slots; s += locks {
+							got, err := n.ReadUint64(base + int64(s)*8)
+							if err != nil {
+								return err
+							}
+							if got != shadow[s] {
+								return fmt.Errorf("node %d post-barrier: slot %d = %d, shadow %d", n.ID(), s, got, shadow[s])
+							}
+						}
+						if err := n.Release(l); err != nil {
+							return err
+						}
+					}
+				}
+			} else {
+				for s := 0; s < slots; s++ {
+					got, err := n.ReadUint64(base + int64(s)*8)
+					if err != nil {
+						return err
+					}
+					if got != shadow[s] {
+						return fmt.Errorf("node %d post-barrier round %d: slot %d = %d, shadow %d", n.ID(), round, s, got, shadow[s])
+					}
+				}
+			}
+			// Second barrier so verification finishes everywhere
+			// before the next mutation phase begins.
+			if err := n.Barrier(0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v seed %d: %v", proto, seed, err)
+	}
+}
+
+// TestFuzzDRFPrograms runs the random-program harness across every
+// protocol and several seeds.
+func TestFuzzDRFPrograms(t *testing.T) {
+	seeds := []uint64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, proto := range core.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				runFuzz(t, proto, seed, 4, 24, 5, 6)
+			}
+		})
+	}
+}
+
+// TestFuzzSmallPagesManyLocks stresses false sharing: many locks'
+// slots interleave within pages.
+func TestFuzzSmallPagesManyLocks(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SCDynamic, core.ERCInvalidate, core.ERCUpdate, core.LRC, core.ECDiff} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			runFuzz(t, proto, 99, 5, 64, 9, 5)
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Gauss solves A·x = b by Gaussian elimination with a cyclic row
+// distribution and a barrier per elimination step — the application
+// whose producer-consumer pivot-row broadcast the early DSM
+// literature uses to contrast eager and demand-driven data movement.
+// The matrix is made strongly diagonally dominant so no pivoting is
+// needed and the reference solution is x ≈ (1, 1, ..., 1).
+type Gauss struct {
+	n    int
+	a, b int64 // A is n×n, b and x are n vectors; x overwrites b
+}
+
+// NewGauss creates an n-equation system.
+func NewGauss(n int) *Gauss { return &Gauss{n: n} }
+
+// Name implements App.
+func (g *Gauss) Name() string { return fmt.Sprintf("gauss-%d", g.n) }
+
+// LocksOnly implements App.
+func (g *Gauss) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (g *Gauss) Setup(c *core.Cluster) error {
+	var err error
+	if g.a, err = c.AllocPage(int64(g.n) * int64(g.n) * 8); err != nil {
+		return err
+	}
+	if g.b, err = c.AllocPage(int64(g.n) * 8); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (g *Gauss) at(r, c int) int64 { return g.a + (int64(r)*int64(g.n)+int64(c))*8 }
+
+// system produces the deterministic matrix and right-hand side.
+func (g *Gauss) system() ([]float64, []float64) {
+	rng := newPrng(7)
+	a := make([]float64, g.n*g.n)
+	for i := range a {
+		a[i] = rng.float()
+	}
+	for i := 0; i < g.n; i++ {
+		a[i*g.n+i] += float64(2 * g.n) // diagonal dominance
+	}
+	b := make([]float64, g.n)
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			b[i] += a[i*g.n+j] // so x = ones
+		}
+	}
+	return a, b
+}
+
+func (g *Gauss) owner(row, nodes int) int { return row % nodes }
+
+// Run implements App.
+func (g *Gauss) Run(n *core.Node) error {
+	av, bv := g.system()
+	// Each node writes its own (cyclic) rows.
+	for r := n.ID(); r < g.n; r += n.N() {
+		for c := 0; c < g.n; c++ {
+			if err := n.WriteFloat64(g.at(r, c), av[r*g.n+c]); err != nil {
+				return err
+			}
+		}
+		if err := n.WriteFloat64(g.b+int64(r)*8, bv[r]); err != nil {
+			return err
+		}
+	}
+	if err := n.Barrier(0); err != nil {
+		return err
+	}
+	// Elimination: at step k, row k is final; every node updates its
+	// own rows below k using the (read-shared) pivot row.
+	pivot := make([]float64, g.n+1)
+	for k := 0; k < g.n-1; k++ {
+		for c := k; c < g.n; c++ {
+			v, err := n.ReadFloat64(g.at(k, c))
+			if err != nil {
+				return err
+			}
+			pivot[c] = v
+		}
+		pv, err := n.ReadFloat64(g.b + int64(k)*8)
+		if err != nil {
+			return err
+		}
+		pivot[g.n] = pv
+		for r := n.ID(); r < g.n; r += n.N() {
+			if r <= k {
+				continue
+			}
+			f, err := n.ReadFloat64(g.at(r, k))
+			if err != nil {
+				return err
+			}
+			factor := f / pivot[k]
+			for c := k; c < g.n; c++ {
+				cur, err := n.ReadFloat64(g.at(r, c))
+				if err != nil {
+					return err
+				}
+				if err := n.WriteFloat64(g.at(r, c), cur-factor*pivot[c]); err != nil {
+					return err
+				}
+			}
+			cur, err := n.ReadFloat64(g.b + int64(r)*8)
+			if err != nil {
+				return err
+			}
+			if err := n.WriteFloat64(g.b+int64(r)*8, cur-factor*pivot[g.n]); err != nil {
+				return err
+			}
+		}
+		if err := n.Barrier(0); err != nil {
+			return err
+		}
+	}
+	// Back substitution on node 0, overwriting b with x.
+	if n.ID() == 0 {
+		for r := g.n - 1; r >= 0; r-- {
+			sum, err := n.ReadFloat64(g.b + int64(r)*8)
+			if err != nil {
+				return err
+			}
+			for c := r + 1; c < g.n; c++ {
+				acf, err := n.ReadFloat64(g.at(r, c))
+				if err != nil {
+					return err
+				}
+				xc, err := n.ReadFloat64(g.b + int64(c)*8)
+				if err != nil {
+					return err
+				}
+				sum -= acf * xc
+			}
+			arr, err := n.ReadFloat64(g.at(r, r))
+			if err != nil {
+				return err
+			}
+			if err := n.WriteFloat64(g.b+int64(r)*8, sum/arr); err != nil {
+				return err
+			}
+		}
+	}
+	return n.Barrier(0)
+}
+
+// Verify implements App.
+func (g *Gauss) Verify(c *core.Cluster) error {
+	n0 := c.Node(0)
+	for i := 0; i < g.n; i++ {
+		x, err := n0.ReadFloat64(g.b + int64(i)*8)
+		if err != nil {
+			return err
+		}
+		if abs(x-1) > 1e-6 {
+			return fmt.Errorf("gauss: x[%d] = %v, want 1", i, x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Histogram bins a deterministic data stream: every node counts its
+// share locally, then merges into the shared bins under a lock — the
+// classic reduction pattern whose communication is almost entirely
+// lock handoffs carrying a small, hot data structure.
+type Histogram struct {
+	items int
+	bins  int
+	addr  int64
+}
+
+const histLock int32 = 17
+
+// NewHistogram creates a histogram of `items` values over `bins` bins.
+func NewHistogram(items, bins int) *Histogram {
+	return &Histogram{items: items, bins: bins}
+}
+
+// Name implements App.
+func (a *Histogram) Name() string { return fmt.Sprintf("histogram-%dx%d", a.items, a.bins) }
+
+// LocksOnly implements App.
+func (a *Histogram) LocksOnly() bool { return true }
+
+// Setup implements App.
+func (a *Histogram) Setup(c *core.Cluster) error {
+	var err error
+	if a.addr, err = c.AllocPage(int64(a.bins) * 8); err != nil {
+		return err
+	}
+	c.Bind(histLock, a.addr, a.bins*8)
+	return nil
+}
+
+func (a *Histogram) value(i int) int {
+	r := newPrng(uint64(i) + 1234)
+	return int(r.next() % uint64(a.bins))
+}
+
+// Run implements App.
+func (a *Histogram) Run(n *core.Node) error {
+	lo, hi := band(a.items, n.N(), n.ID())
+	local := make([]uint64, a.bins)
+	for i := lo; i < hi; i++ {
+		local[a.value(i)]++
+	}
+	if err := n.Acquire(histLock); err != nil {
+		return err
+	}
+	for b := 0; b < a.bins; b++ {
+		if local[b] == 0 {
+			continue
+		}
+		cur, err := n.ReadUint64(a.addr + int64(b)*8)
+		if err != nil {
+			return err
+		}
+		if err := n.WriteUint64(a.addr+int64(b)*8, cur+local[b]); err != nil {
+			return err
+		}
+	}
+	return n.Release(histLock)
+}
+
+// Verify implements App.
+func (a *Histogram) Verify(c *core.Cluster) error {
+	want := make([]uint64, a.bins)
+	for i := 0; i < a.items; i++ {
+		want[a.value(i)]++
+	}
+	n0 := c.Node(0)
+	if err := n0.Acquire(histLock); err != nil {
+		return err
+	}
+	defer func() { _ = n0.Release(histLock) }()
+	for b := 0; b < a.bins; b++ {
+		got, err := n0.ReadUint64(a.addr + int64(b)*8)
+		if err != nil {
+			return err
+		}
+		if got != want[b] {
+			return fmt.Errorf("histogram: bin %d = %d, want %d", b, got, want[b])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// MatMul computes C = A·B with a block-row distribution: A and B are
+// written by node 0 and become read-shared (the pattern that favours
+// replication), while each node writes a disjoint band of C.
+type MatMul struct {
+	n       int
+	a, b, c int64
+}
+
+// NewMatMul creates an n×n multiply.
+func NewMatMul(n int) *MatMul { return &MatMul{n: n} }
+
+// Name implements App.
+func (m *MatMul) Name() string { return fmt.Sprintf("matmul-%d", m.n) }
+
+// LocksOnly implements App.
+func (m *MatMul) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (m *MatMul) Setup(c *core.Cluster) error {
+	sz := int64(m.n) * int64(m.n) * 8
+	var err error
+	if m.a, err = c.AllocPage(sz); err != nil {
+		return err
+	}
+	if m.b, err = c.AllocPage(sz); err != nil {
+		return err
+	}
+	if m.c, err = c.AllocPage(sz); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (m *MatMul) at(base int64, r, c int) int64 {
+	return base + (int64(r)*int64(m.n)+int64(c))*8
+}
+
+func (m *MatMul) inputs() ([]float64, []float64) {
+	rng := newPrng(42)
+	a := make([]float64, m.n*m.n)
+	b := make([]float64, m.n*m.n)
+	for i := range a {
+		a[i] = rng.float()
+	}
+	for i := range b {
+		b[i] = rng.float()
+	}
+	return a, b
+}
+
+// Run implements App.
+func (m *MatMul) Run(n *core.Node) error {
+	if n.ID() == 0 {
+		av, bv := m.inputs()
+		for i := 0; i < m.n*m.n; i++ {
+			if err := n.WriteFloat64(m.a+int64(i)*8, av[i]); err != nil {
+				return err
+			}
+			if err := n.WriteFloat64(m.b+int64(i)*8, bv[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if err := n.Barrier(0); err != nil {
+		return err
+	}
+	lo, hi := band(m.n, n.N(), n.ID())
+	// Cache B locally: every node reads all of B, so bulk-read it
+	// once (the page protocol still decides how it moves).
+	bbuf := make([]float64, m.n*m.n)
+	for i := range bbuf {
+		v, err := n.ReadFloat64(m.b + int64(i)*8)
+		if err != nil {
+			return err
+		}
+		bbuf[i] = v
+	}
+	for r := lo; r < hi; r++ {
+		arow := make([]float64, m.n)
+		for k := 0; k < m.n; k++ {
+			v, err := n.ReadFloat64(m.at(m.a, r, k))
+			if err != nil {
+				return err
+			}
+			arow[k] = v
+		}
+		for c := 0; c < m.n; c++ {
+			var sum float64
+			for k := 0; k < m.n; k++ {
+				sum += arow[k] * bbuf[k*m.n+c]
+			}
+			if err := n.WriteFloat64(m.at(m.c, r, c), sum); err != nil {
+				return err
+			}
+		}
+	}
+	return n.Barrier(0)
+}
+
+// Verify implements App.
+func (m *MatMul) Verify(cl *core.Cluster) error {
+	av, bv := m.inputs()
+	n0 := cl.Node(0)
+	for r := 0; r < m.n; r++ {
+		for c := 0; c < m.n; c++ {
+			var want float64
+			for k := 0; k < m.n; k++ {
+				want += av[r*m.n+k] * bv[k*m.n+c]
+			}
+			got, err := n0.ReadFloat64(m.at(m.c, r, c))
+			if err != nil {
+				return err
+			}
+			if abs(got-want) > 1e-9 {
+				return fmt.Errorf("matmul: C[%d][%d] = %v, want %v", r, c, got, want)
+			}
+		}
+	}
+	return nil
+}

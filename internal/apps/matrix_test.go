@@ -1,0 +1,152 @@
+package apps_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// TestCorrectnessMatrix is experiment E1: every workload must produce
+// the sequential-reference result under every protocol, across node
+// counts and page sizes. Entry consistency only admits the lock-only
+// workloads (its contract requires all shared data to be bound to
+// locks).
+func TestCorrectnessMatrix(t *testing.T) {
+	nodeCounts := []int{2, 5}
+	pageSizes := []int{256}
+	if testing.Short() {
+		nodeCounts = []int{3}
+	}
+	for _, proto := range core.Protocols() {
+		for _, nodes := range nodeCounts {
+			for _, ps := range pageSizes {
+				proto, nodes, ps := proto, nodes, ps
+				name := fmt.Sprintf("%v/n%d/p%d", proto, nodes, ps)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					suite := apps.All(apps.Small)
+					if proto == core.EC || proto == core.ECDiff {
+						suite = apps.LockApps(apps.Small)
+					}
+					for _, a := range suite {
+						c, err := core.NewCluster(core.Config{
+							Nodes:     nodes,
+							Protocol:  proto,
+							PageSize:  ps,
+							HeapBytes: 1 << 20,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := apps.RunAndVerify(c, a); err != nil {
+							c.Close()
+							t.Fatalf("%s: %v", a.Name(), err)
+						}
+						c.Close()
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMatrixWithJitter reruns the lock-heavy and barrier-heavy apps
+// with randomized message delays to shake out ordering assumptions.
+func TestMatrixWithJitter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("jitter matrix is slow")
+	}
+	for _, proto := range core.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			suite := []apps.App{
+				apps.NewTaskQueue(30, 100),
+				apps.NewFalseShare(4, 16),
+				apps.NewSOR(16, 16, 3),
+			}
+			if proto == core.EC || proto == core.ECDiff {
+				suite = []apps.App{apps.NewTaskQueue(30, 100), apps.NewTSP(7)}
+			}
+			for seed := int64(1); seed <= 2; seed++ {
+				for _, a := range suite {
+					c, err := core.NewCluster(core.Config{
+						Nodes:     4,
+						Protocol:  proto,
+						PageSize:  256,
+						HeapBytes: 1 << 20,
+						Jitter:    200 * 1000, // 200µs in ns
+						Seed:      seed,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := apps.RunAndVerify(c, a); err != nil {
+						c.Close()
+						t.Fatalf("seed %d %s: %v", seed, a.Name(), err)
+					}
+					c.Close()
+				}
+			}
+		})
+	}
+}
+
+// TestLRCWithBarrierGC reruns the full suite under LRC with
+// barrier-time garbage collection enabled.
+func TestLRCWithBarrierGC(t *testing.T) {
+	for _, a := range apps.All(apps.Small) {
+		c, err := core.NewCluster(core.Config{
+			Nodes:        5,
+			Protocol:     core.LRC,
+			PageSize:     256,
+			HeapBytes:    1 << 20,
+			LRCBarrierGC: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := apps.RunAndVerify(c, a); err != nil {
+			c.Close()
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		c.Close()
+	}
+}
+
+// TestWideCluster runs representative workloads at 16 nodes for the
+// protocols most sensitive to scale (owner chains, diff fan-out,
+// travelling logs).
+func TestWideCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide cluster is slow")
+	}
+	for _, proto := range []core.Protocol{core.SCDynamic, core.LRC, core.ECDiff, core.ERCUpdate} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			suite := []apps.App{apps.NewSOR(32, 32, 4), apps.NewFalseShare(4, 16)}
+			if proto == core.ECDiff {
+				suite = []apps.App{apps.NewTaskQueue(64, 200), apps.NewPipeline(128)}
+			}
+			for _, a := range suite {
+				c, err := core.NewCluster(core.Config{
+					Nodes:     16,
+					Protocol:  proto,
+					PageSize:  256,
+					HeapBytes: 1 << 20,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := apps.RunAndVerify(c, a); err != nil {
+					c.Close()
+					t.Fatalf("%s: %v", a.Name(), err)
+				}
+				c.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// NBody is an all-pairs gravitational simulation with a block
+// distribution of bodies: every step, each node reads all positions
+// (read-shared data that replication-friendly protocols excel at)
+// and writes only its own bodies' state; two barriers separate the
+// force phase from the integration phase, keeping the program
+// data-race-free.
+type NBody struct {
+	n     int
+	steps int
+	pos   int64 // n × (x, y) float64
+	vel   int64 // n × (vx, vy) float64
+}
+
+// NewNBody creates an n-body simulation running the given steps.
+func NewNBody(n, steps int) *NBody { return &NBody{n: n, steps: steps} }
+
+// Name implements App.
+func (a *NBody) Name() string { return fmt.Sprintf("nbody-%dx%d", a.n, a.steps) }
+
+// LocksOnly implements App.
+func (a *NBody) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (a *NBody) Setup(c *core.Cluster) error {
+	var err error
+	if a.pos, err = c.AllocPage(int64(a.n) * 16); err != nil {
+		return err
+	}
+	if a.vel, err = c.AllocPage(int64(a.n) * 16); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (a *NBody) px(i int) int64 { return a.pos + int64(i)*16 }
+func (a *NBody) py(i int) int64 { return a.pos + int64(i)*16 + 8 }
+func (a *NBody) vx(i int) int64 { return a.vel + int64(i)*16 }
+func (a *NBody) vy(i int) int64 { return a.vel + int64(i)*16 + 8 }
+
+// initBody is the deterministic initial condition.
+func initBody(i, n int) (x, y, vx, vy float64) {
+	t := 2 * math.Pi * float64(i) / float64(n)
+	r := 1 + 0.5*math.Sin(7*t)
+	return r * math.Cos(t), r * math.Sin(t), -0.1 * math.Sin(t), 0.1 * math.Cos(t)
+}
+
+const (
+	nbodyDT  = 0.001
+	nbodyEps = 0.05 // softening
+)
+
+// Run implements App.
+func (a *NBody) Run(nd *core.Node) error {
+	lo, hi := band(a.n, nd.N(), nd.ID())
+	for i := lo; i < hi; i++ {
+		x, y, vx, vy := initBody(i, a.n)
+		if err := nd.WriteFloat64(a.px(i), x); err != nil {
+			return err
+		}
+		if err := nd.WriteFloat64(a.py(i), y); err != nil {
+			return err
+		}
+		if err := nd.WriteFloat64(a.vx(i), vx); err != nil {
+			return err
+		}
+		if err := nd.WriteFloat64(a.vy(i), vy); err != nil {
+			return err
+		}
+	}
+	if err := nd.Barrier(0); err != nil {
+		return err
+	}
+	ax := make([]float64, hi-lo)
+	ay := make([]float64, hi-lo)
+	for step := 0; step < a.steps; step++ {
+		// Force phase: read everything, accumulate locally.
+		for i := lo; i < hi; i++ {
+			xi, err := nd.ReadFloat64(a.px(i))
+			if err != nil {
+				return err
+			}
+			yi, err := nd.ReadFloat64(a.py(i))
+			if err != nil {
+				return err
+			}
+			var fx, fy float64
+			for j := 0; j < a.n; j++ {
+				if j == i {
+					continue
+				}
+				xj, err := nd.ReadFloat64(a.px(j))
+				if err != nil {
+					return err
+				}
+				yj, err := nd.ReadFloat64(a.py(j))
+				if err != nil {
+					return err
+				}
+				dx, dy := xj-xi, yj-yi
+				d2 := dx*dx + dy*dy + nbodyEps
+				inv := 1 / (d2 * math.Sqrt(d2))
+				fx += dx * inv
+				fy += dy * inv
+			}
+			ax[i-lo], ay[i-lo] = fx, fy
+		}
+		if err := nd.Barrier(0); err != nil {
+			return err
+		}
+		// Integration phase: write only our own bodies.
+		for i := lo; i < hi; i++ {
+			vx, err := nd.ReadFloat64(a.vx(i))
+			if err != nil {
+				return err
+			}
+			vy, err := nd.ReadFloat64(a.vy(i))
+			if err != nil {
+				return err
+			}
+			vx += ax[i-lo] * nbodyDT
+			vy += ay[i-lo] * nbodyDT
+			x, err := nd.ReadFloat64(a.px(i))
+			if err != nil {
+				return err
+			}
+			y, err := nd.ReadFloat64(a.py(i))
+			if err != nil {
+				return err
+			}
+			if err := nd.WriteFloat64(a.vx(i), vx); err != nil {
+				return err
+			}
+			if err := nd.WriteFloat64(a.vy(i), vy); err != nil {
+				return err
+			}
+			if err := nd.WriteFloat64(a.px(i), x+vx*nbodyDT); err != nil {
+				return err
+			}
+			if err := nd.WriteFloat64(a.py(i), y+vy*nbodyDT); err != nil {
+				return err
+			}
+		}
+		if err := nd.Barrier(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// reference runs the identical simulation sequentially.
+func (a *NBody) reference() ([]float64, []float64) {
+	x := make([]float64, a.n)
+	y := make([]float64, a.n)
+	vx := make([]float64, a.n)
+	vy := make([]float64, a.n)
+	for i := 0; i < a.n; i++ {
+		x[i], y[i], vx[i], vy[i] = initBody(i, a.n)
+	}
+	ax := make([]float64, a.n)
+	ay := make([]float64, a.n)
+	for step := 0; step < a.steps; step++ {
+		for i := 0; i < a.n; i++ {
+			var fx, fy float64
+			for j := 0; j < a.n; j++ {
+				if j == i {
+					continue
+				}
+				dx, dy := x[j]-x[i], y[j]-y[i]
+				d2 := dx*dx + dy*dy + nbodyEps
+				inv := 1 / (d2 * math.Sqrt(d2))
+				fx += dx * inv
+				fy += dy * inv
+			}
+			ax[i], ay[i] = fx, fy
+		}
+		for i := 0; i < a.n; i++ {
+			vx[i] += ax[i] * nbodyDT
+			vy[i] += ay[i] * nbodyDT
+			x[i] += vx[i] * nbodyDT
+			y[i] += vy[i] * nbodyDT
+		}
+	}
+	return x, y
+}
+
+// Verify implements App.
+func (a *NBody) Verify(c *core.Cluster) error {
+	wx, wy := a.reference()
+	n0 := c.Node(0)
+	for i := 0; i < a.n; i++ {
+		gx, err := n0.ReadFloat64(a.px(i))
+		if err != nil {
+			return err
+		}
+		gy, err := n0.ReadFloat64(a.py(i))
+		if err != nil {
+			return err
+		}
+		if abs(gx-wx[i]) > 1e-9 || abs(gy-wy[i]) > 1e-9 {
+			return fmt.Errorf("nbody: body %d at (%g,%g), want (%g,%g)", i, gx, gy, wx[i], wy[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Pipeline is a producer-consumer chain built on events instead of
+// flag spinning: node i waits for event i-1, transforms the previous
+// stage's block, writes its own block, and fires event i. Under the
+// SC protocols this is the classic data-then-flag pattern with the
+// flag done properly; under the RC protocols the event firing is the
+// release that publishes the stage's writes; under entry consistency
+// each block is bound to the event that announces it, so the firing
+// itself delivers the data.
+type Pipeline struct {
+	words  int // per-stage block size in 8-byte words
+	blocks int64
+	stages int
+}
+
+// NewPipeline creates a chain with blocks of `words` words; the
+// number of stages equals the cluster size.
+func NewPipeline(words int) *Pipeline { return &Pipeline{words: words} }
+
+// Name implements App.
+func (a *Pipeline) Name() string { return fmt.Sprintf("pipeline-%dw", a.words) }
+
+// LocksOnly implements App: all shared data is bound to sync objects
+// (events), so entry consistency is legal.
+func (a *Pipeline) LocksOnly() bool { return true }
+
+const pipeEventBase int32 = 40
+
+// Setup implements App.
+func (a *Pipeline) Setup(c *core.Cluster) error {
+	a.stages = c.N()
+	addr, err := c.AllocPage(int64(a.stages) * int64(a.words) * 8)
+	if err != nil {
+		return err
+	}
+	a.blocks = addr
+	for s := 0; s < a.stages; s++ {
+		c.BindEvent(pipeEventBase+int32(s), a.block(s), a.words*8)
+	}
+	return nil
+}
+
+func (a *Pipeline) block(stage int) int64 {
+	return a.blocks + int64(stage)*int64(a.words)*8
+}
+
+// transform is stage s's deterministic function.
+func transform(v uint64, stage int) uint64 {
+	return v*2862933555777941757 + uint64(stage) + 1
+}
+
+// Run implements App.
+func (a *Pipeline) Run(n *core.Node) error {
+	s := n.ID()
+	if s == 0 {
+		for w := 0; w < a.words; w++ {
+			if err := n.WriteUint64(a.block(0)+int64(w)*8, transform(uint64(w), 0)); err != nil {
+				return err
+			}
+		}
+		return n.EventSet(pipeEventBase)
+	}
+	if err := n.EventWait(pipeEventBase + int32(s-1)); err != nil {
+		return err
+	}
+	for w := 0; w < a.words; w++ {
+		v, err := n.ReadUint64(a.block(s-1) + int64(w)*8)
+		if err != nil {
+			return err
+		}
+		if err := n.WriteUint64(a.block(s)+int64(w)*8, transform(v, s)); err != nil {
+			return err
+		}
+	}
+	return n.EventSet(pipeEventBase + int32(s))
+}
+
+// Verify implements App.
+func (a *Pipeline) Verify(c *core.Cluster) error {
+	last := a.stages - 1
+	n0 := c.Node(0)
+	// Waiting on the final event is the legal read barrier for every
+	// model (and delivers the bound block under EC).
+	if err := n0.EventWait(pipeEventBase + int32(last)); err != nil {
+		return err
+	}
+	for w := 0; w < a.words; w++ {
+		want := transform(uint64(w), 0)
+		for s := 1; s <= last; s++ {
+			want = transform(want, s)
+		}
+		got, err := n0.ReadUint64(a.block(last) + int64(w)*8)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("pipeline: word %d = %d, want %d", w, got, want)
+		}
+	}
+	return nil
+}

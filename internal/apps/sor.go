@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SOR is a red-black Gauss-Seidel relaxation on a 2-D grid, the
+// canonical barrier-synchronized DSM kernel (used by IVY, Munin and
+// TreadMarks alike): nodes own horizontal bands and exchange only
+// boundary rows, so larger pages induce false sharing at band edges —
+// exactly what experiment E5 sweeps.
+type SOR struct {
+	rows, cols, iters int
+	grid              int64 // shared [rows][cols] float64
+}
+
+// NewSOR creates a rows×cols relaxation running iters full sweeps.
+func NewSOR(rows, cols, iters int) *SOR {
+	return &SOR{rows: rows, cols: cols, iters: iters}
+}
+
+// Name implements App.
+func (a *SOR) Name() string { return fmt.Sprintf("sor-%dx%dx%d", a.rows, a.cols, a.iters) }
+
+// LocksOnly implements App.
+func (a *SOR) LocksOnly() bool { return false }
+
+// Setup implements App.
+func (a *SOR) Setup(c *core.Cluster) error {
+	addr, err := c.AllocPage(int64(a.rows) * int64(a.cols) * 8)
+	if err != nil {
+		return err
+	}
+	a.grid = addr
+	return nil
+}
+
+func (a *SOR) cell(r, col int) int64 { return a.grid + (int64(r)*int64(a.cols)+int64(col))*8 }
+
+// initial returns the deterministic boundary/initial value for a
+// cell; interior cells start at 0.
+func initial(r, c, rows, cols int) float64 {
+	switch {
+	case r == 0:
+		return 1
+	case r == rows-1:
+		return 2
+	case c == 0 || c == cols-1:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// Run implements App.
+func (a *SOR) Run(n *core.Node) error {
+	lo, hi := band(a.rows, n.N(), n.ID())
+	// Every node writes the initial values of its own band (disjoint
+	// writes), then a barrier publishes them.
+	for r := lo; r < hi; r++ {
+		for c := 0; c < a.cols; c++ {
+			if v := initial(r, c, a.rows, a.cols); v != 0 {
+				if err := n.WriteFloat64(a.cell(r, c), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := n.Barrier(0); err != nil {
+		return err
+	}
+	for it := 0; it < a.iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for r := max(lo, 1); r < hi && r < a.rows-1; r++ {
+				for c := 1 + (r+phase)%2; c < a.cols-1; c += 2 {
+					up, err := n.ReadFloat64(a.cell(r-1, c))
+					if err != nil {
+						return err
+					}
+					down, err := n.ReadFloat64(a.cell(r+1, c))
+					if err != nil {
+						return err
+					}
+					left, err := n.ReadFloat64(a.cell(r, c-1))
+					if err != nil {
+						return err
+					}
+					right, err := n.ReadFloat64(a.cell(r, c+1))
+					if err != nil {
+						return err
+					}
+					if err := n.WriteFloat64(a.cell(r, c), 0.25*(up+down+left+right)); err != nil {
+						return err
+					}
+				}
+			}
+			if err := n.Barrier(0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// reference computes the same relaxation sequentially.
+func (a *SOR) reference() []float64 {
+	g := make([]float64, a.rows*a.cols)
+	for r := 0; r < a.rows; r++ {
+		for c := 0; c < a.cols; c++ {
+			g[r*a.cols+c] = initial(r, c, a.rows, a.cols)
+		}
+	}
+	for it := 0; it < a.iters; it++ {
+		for phase := 0; phase < 2; phase++ {
+			for r := 1; r < a.rows-1; r++ {
+				for c := 1 + (r+phase)%2; c < a.cols-1; c += 2 {
+					g[r*a.cols+c] = 0.25 * (g[(r-1)*a.cols+c] + g[(r+1)*a.cols+c] + g[r*a.cols+c-1] + g[r*a.cols+c+1])
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Verify implements App.
+func (a *SOR) Verify(c *core.Cluster) error {
+	want := a.reference()
+	n0 := c.Node(0)
+	buf := make([]byte, a.rows*a.cols*8)
+	if err := n0.ReadAt(a.grid, buf); err != nil {
+		return err
+	}
+	for r := 0; r < a.rows; r++ {
+		for col := 0; col < a.cols; col++ {
+			got, err := n0.ReadFloat64(a.cell(r, col))
+			if err != nil {
+				return err
+			}
+			w := want[r*a.cols+col]
+			if abs(got-w) > 1e-12 {
+				return fmt.Errorf("sor: cell (%d,%d) = %v, want %v", r, col, got, w)
+			}
+		}
+	}
+	return nil
+}

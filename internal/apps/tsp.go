@@ -1,0 +1,303 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TSP is branch-and-bound over the travelling-salesman problem with
+// a shared work stack and a shared incumbent bound, both guarded by
+// one lock — the irregular, mutual-exclusion-heavy workload of the
+// DSM evaluations. Cities are at most 8 so a partial path packs into
+// one word; the distance matrix is deterministic and computed
+// locally by every node.
+type TSP struct {
+	cities int
+
+	sp          int64 // stack pointer
+	best        int64 // incumbent tour cost
+	outstanding int64 // stack items + in-flight expansions
+	stack       int64 // records of 4×8 bytes: depth, cost, mask, path
+	capacity    int
+}
+
+const tspLock int32 = 13
+
+// NewTSP creates an instance with the given number of cities (2..8).
+// The work stack is sized for the worst DFS frontier of 8 cities with
+// a comfortable margin (overflow is detected, not silent); keeping it
+// tight matters because entry consistency ships the bound region with
+// every lock handoff.
+func NewTSP(cities int) *TSP {
+	if cities < 2 || cities > 8 {
+		panic(fmt.Sprintf("apps: TSP supports 2..8 cities, got %d", cities))
+	}
+	return &TSP{cities: cities, capacity: 1024}
+}
+
+// Name implements App.
+func (a *TSP) Name() string { return fmt.Sprintf("tsp-%d", a.cities) }
+
+// LocksOnly implements App.
+func (a *TSP) LocksOnly() bool { return true }
+
+// Setup implements App.
+func (a *TSP) Setup(c *core.Cluster) error {
+	var err error
+	if a.sp, err = c.AllocPage(8); err != nil {
+		return err
+	}
+	if a.best, err = c.Alloc(8, 8); err != nil {
+		return err
+	}
+	if a.outstanding, err = c.Alloc(8, 8); err != nil {
+		return err
+	}
+	if a.stack, err = c.Alloc(int64(a.capacity)*32, 8); err != nil {
+		return err
+	}
+	c.Bind(tspLock, a.sp, 24+a.capacity*32) // sp, best, outstanding, stack contiguous
+	return nil
+}
+
+// dist returns the deterministic symmetric distance matrix.
+func (a *TSP) dist() [][]int64 {
+	rng := newPrng(99)
+	d := make([][]int64, a.cities)
+	for i := range d {
+		d[i] = make([]int64, a.cities)
+	}
+	for i := 0; i < a.cities; i++ {
+		for j := i + 1; j < a.cities; j++ {
+			v := int64(1 + rng.next()%99)
+			d[i][j], d[j][i] = v, v
+		}
+	}
+	return d
+}
+
+type tspRec struct {
+	depth, cost, mask, path int64
+}
+
+func (a *TSP) readRec(n *core.Node, i int64) (tspRec, error) {
+	var r tspRec
+	base := a.stack + i*32
+	var err error
+	if r.depth, err = n.ReadInt64(base); err != nil {
+		return r, err
+	}
+	if r.cost, err = n.ReadInt64(base + 8); err != nil {
+		return r, err
+	}
+	if r.mask, err = n.ReadInt64(base + 16); err != nil {
+		return r, err
+	}
+	if r.path, err = n.ReadInt64(base + 24); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func (a *TSP) writeRec(n *core.Node, i int64, r tspRec) error {
+	base := a.stack + i*32
+	if err := n.WriteInt64(base, r.depth); err != nil {
+		return err
+	}
+	if err := n.WriteInt64(base+8, r.cost); err != nil {
+		return err
+	}
+	if err := n.WriteInt64(base+16, r.mask); err != nil {
+		return err
+	}
+	return n.WriteInt64(base+24, r.path)
+}
+
+func pathCity(path int64, i int) int { return int(path>>(8*i)) & 0xff }
+
+func withCity(path int64, i, city int) int64 {
+	return path | int64(city)<<(8*i)
+}
+
+const tspInf = int64(1) << 40
+
+// Run implements App.
+func (a *TSP) Run(n *core.Node) error {
+	d := a.dist()
+	if n.ID() == 0 {
+		// Seed the root: tour starting (and ending) at city 0.
+		if err := n.Acquire(tspLock); err != nil {
+			return err
+		}
+		if err := a.writeRec(n, 0, tspRec{depth: 1, cost: 0, mask: 1, path: 0}); err != nil {
+			return err
+		}
+		if err := n.WriteInt64(a.sp, 1); err != nil {
+			return err
+		}
+		if err := n.WriteInt64(a.best, tspInf); err != nil {
+			return err
+		}
+		if err := n.WriteInt64(a.outstanding, 1); err != nil {
+			return err
+		}
+		if err := n.Release(tspLock); err != nil {
+			return err
+		}
+	}
+	if err := n.Barrier(0); err != nil {
+		return err
+	}
+	for {
+		if err := n.Acquire(tspLock); err != nil {
+			return err
+		}
+		out, err := n.ReadInt64(a.outstanding)
+		if err != nil {
+			return err
+		}
+		if out == 0 {
+			return n.Release(tspLock)
+		}
+		sp, err := n.ReadInt64(a.sp)
+		if err != nil {
+			return err
+		}
+		if sp == 0 {
+			if err := n.Release(tspLock); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		rec, err := a.readRec(n, sp-1)
+		if err != nil {
+			return err
+		}
+		if err := n.WriteInt64(a.sp, sp-1); err != nil {
+			return err
+		}
+		bound, err := n.ReadInt64(a.best)
+		if err != nil {
+			return err
+		}
+		if err := n.Release(tspLock); err != nil {
+			return err
+		}
+
+		// Expand locally against the (possibly stale, hence merely
+		// less effective) bound.
+		last := pathCity(rec.path, int(rec.depth)-1)
+		var children []tspRec
+		newBest := int64(-1)
+		if int(rec.depth) == a.cities {
+			total := rec.cost + d[last][0]
+			if total < bound {
+				newBest = total
+			}
+		} else {
+			for city := 1; city < a.cities; city++ {
+				if rec.mask&(1<<city) != 0 {
+					continue
+				}
+				cost := rec.cost + d[last][city]
+				if cost >= bound {
+					continue
+				}
+				children = append(children, tspRec{
+					depth: rec.depth + 1,
+					cost:  cost,
+					mask:  rec.mask | 1<<city,
+					path:  withCity(rec.path, int(rec.depth), city),
+				})
+			}
+		}
+
+		if err := n.Acquire(tspLock); err != nil {
+			return err
+		}
+		if newBest >= 0 {
+			cur, err := n.ReadInt64(a.best)
+			if err != nil {
+				return err
+			}
+			if newBest < cur {
+				if err := n.WriteInt64(a.best, newBest); err != nil {
+					return err
+				}
+			}
+		}
+		sp, err = n.ReadInt64(a.sp)
+		if err != nil {
+			return err
+		}
+		if int(sp)+len(children) > a.capacity {
+			return fmt.Errorf("tsp: work stack overflow (%d)", sp)
+		}
+		for i, ch := range children {
+			if err := a.writeRec(n, sp+int64(i), ch); err != nil {
+				return err
+			}
+		}
+		if err := n.WriteInt64(a.sp, sp+int64(len(children))); err != nil {
+			return err
+		}
+		out, err = n.ReadInt64(a.outstanding)
+		if err != nil {
+			return err
+		}
+		if err := n.WriteInt64(a.outstanding, out-1+int64(len(children))); err != nil {
+			return err
+		}
+		if err := n.Release(tspLock); err != nil {
+			return err
+		}
+	}
+}
+
+// seqBest solves the instance sequentially for verification.
+func (a *TSP) seqBest() int64 {
+	d := a.dist()
+	best := tspInf
+	var dfs func(last int, mask int64, cost int64, depth int)
+	dfs = func(last int, mask int64, cost int64, depth int) {
+		if cost >= best {
+			return
+		}
+		if depth == a.cities {
+			if total := cost + d[last][0]; total < best {
+				best = total
+			}
+			return
+		}
+		for city := 1; city < a.cities; city++ {
+			if mask&(1<<city) != 0 {
+				continue
+			}
+			dfs(city, mask|1<<city, cost+d[last][city], depth+1)
+		}
+	}
+	dfs(0, 1, 0, 1)
+	return best
+}
+
+// Verify implements App.
+func (a *TSP) Verify(c *core.Cluster) error {
+	n0 := c.Node(0)
+	if err := n0.Acquire(tspLock); err != nil {
+		return err
+	}
+	got, err := n0.ReadInt64(a.best)
+	if err != nil {
+		return err
+	}
+	if err := n0.Release(tspLock); err != nil {
+		return err
+	}
+	if want := a.seqBest(); got != want {
+		return fmt.Errorf("tsp: best tour = %d, want %d", got, want)
+	}
+	return nil
+}

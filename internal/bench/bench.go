@@ -1,0 +1,101 @@
+// Package bench is the experiment harness: it runs workloads on
+// configured clusters, collects wall time and protocol counters, and
+// formats the tables and curve series that regenerate every
+// experiment in EXPERIMENTS.md (E2..E10). cmd/dsmbench is the CLI
+// front end; bench_test.go wires the same experiments into
+// testing.B.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Result is one measured run.
+type Result struct {
+	Protocol core.Protocol
+	App      string
+	Nodes    int
+	PageSize int
+	Elapsed  time.Duration
+	Stats    stats.Snapshot
+}
+
+// Run executes (and verifies) one workload on a fresh cluster built
+// from cfg, returning the measured result. Setup time is excluded;
+// verification time is excluded but failures are returned.
+func Run(cfg core.Config, app apps.App) (Result, error) {
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	defer c.Close()
+	if err := app.Setup(c); err != nil {
+		return Result{}, fmt.Errorf("%s setup: %w", app.Name(), err)
+	}
+	start := time.Now()
+	if err := c.Run(app.Run); err != nil {
+		return Result{}, fmt.Errorf("%s run: %w", app.Name(), err)
+	}
+	elapsed := time.Since(start)
+	if err := app.Verify(c); err != nil {
+		return Result{}, fmt.Errorf("%s verify: %w", app.Name(), err)
+	}
+	return Result{
+		Protocol: cfg.Protocol,
+		App:      app.Name(),
+		Nodes:    cfg.Nodes,
+		PageSize: cfg.PageSize,
+		Elapsed:  elapsed,
+		Stats:    c.TotalStats(),
+	}, nil
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	// Source names the canonical result family being reproduced.
+	Source string
+	Run    func(w io.Writer) error
+}
+
+// All returns the experiment registry in id order.
+func All() []Experiment {
+	return []Experiment{
+		{"e2", "Speedup curves under network latency", "Li & Hudak, TOCS 1989 (IVY speedups)", E2Speedup},
+		{"e3", "Manager algorithms: central / fixed / dynamic / broadcast", "Li & Hudak, TOCS 1989 §4", E3Managers},
+		{"e4", "Algorithm classes: central-server / migration / read-replication / full-replication", "Stumm & Zhou, IEEE Computer 1990", E4Classes},
+		{"e5", "Page size and false sharing", "IVY / Munin false-sharing studies", E5PageSize},
+		{"e6", "Invalidate vs update propagation (eager RC)", "Munin, ASPLOS 1991", E6UpdateInv},
+		{"e7", "Eager vs lazy release consistency", "Keleher et al., ISCA 1992", E7LazyEager},
+		{"e8", "Entry consistency: data piggybacked on locks", "Midway, CMU-CS-91-170", E8Entry},
+		{"e9", "Synchronization service: locks and barriers", "queue-lock / barrier literature", E9Sync},
+		{"e10", "Twin/diff ablation vs whole-page transfer", "TreadMarks diff studies", E10Diff},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func header(w io.Writer, e string) {
+	fmt.Fprintf(w, "\n================ %s ================\n", e)
+}
+
+// ms renders a duration in milliseconds with two decimals.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// perNode divides a total by the node count for per-node averages.
+func perNode(v int64, nodes int) float64 { return float64(v) / float64(nodes) }

@@ -1,0 +1,502 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// E2Speedup reproduces the IVY-style speedup curves as *modeled*
+// speedup, the standard methodology of the era's simulation studies
+// (and a necessity here: sub-millisecond wall-clock latency injection
+// is hostage to OS timer granularity, and a single-CPU host cannot
+// exhibit real parallel speedup at all). The protocols run on a
+// zero-latency network, where message and byte counters are exact;
+// each node's modeled execution time is then
+//
+//	T_i = accesses_i·c  +  (msgs_i/2)·L  +  (bytes_i/2)·B
+//
+// with c calibrated from the single-node run, L the one-way message
+// latency, B the per-byte cost, and msgs_i/bytes_i the node's sent
+// plus received traffic (halved: each message appears once at the
+// sender and once at the receiver, and roughly every other message
+// on a node's critical path is a reply it waited for). The modeled
+// cluster time is max_i T_i — computation is perfectly overlapped,
+// communication is charged to the node that performs it. The model
+// captures latency and bandwidth but not queueing delay, so highly
+// contended locks look better than they would measure; EXPERIMENTS.md
+// discusses this limit.
+//
+// Expected shapes: the page-aligned stencil and the task farm keep
+// near-constant communication per sweep while computation divides by
+// N, so speedup climbs; demand-paged matrix multiply moves the whole
+// of B into every node one page-fetch at a time, the latency-bound
+// pattern that made demand fetching scale poorly in the era's
+// measurements, and LRC's smaller transfer volume shows up directly.
+func E2Speedup(w io.Writer) error {
+	const lat = 100 * time.Microsecond
+	const perByte = 5 * time.Nanosecond
+	header(w, "E2: modeled speedup vs nodes (L=100µs one-way, B=5ns/byte)")
+	protos := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
+	nodeCounts := []int{1, 2, 4, 8, 16}
+	type workload struct {
+		mk   func() apps.App
+		page int
+	}
+	suite := []workload{
+		// 256 columns × 8 bytes = exactly one 2048-byte page per grid
+		// row, the page-aligned partitioning the era's evaluations
+		// used to keep band boundaries off shared pages.
+		{func() apps.App { return apps.NewSOR(192, 256, 8) }, 2048},
+		// Coarse tasks: ~6ms of computation per task against ~1.5ms
+		// of lock traffic, the regime of the task-management speedup
+		// figures (efficiency then decays as nodes outrun the queue).
+		{func() apps.App { return apps.NewTaskQueue(64, 6000000) }, 1024},
+		{func() apps.App { return apps.NewMatMul(216) }, 4096},
+	}
+	for _, wl := range suite {
+		t := stats.NewTable("app", "protocol", "nodes", "model_ms", "speedup", "msgs", "kbytes")
+		var chart *stats.Chart
+		for _, proto := range protos {
+			var base time.Duration
+			var accessCost time.Duration
+			for _, n := range nodeCounts {
+				app := wl.mk()
+				c, err := core.NewCluster(core.Config{
+					Nodes:     n,
+					Protocol:  proto,
+					PageSize:  wl.page,
+					HeapBytes: 1 << 22,
+				})
+				if err != nil {
+					return err
+				}
+				if err := app.Setup(c); err != nil {
+					c.Close()
+					return err
+				}
+				start := time.Now()
+				if err := c.Run(app.Run); err != nil {
+					c.Close()
+					return err
+				}
+				wall := time.Since(start)
+				if err := app.Verify(c); err != nil {
+					c.Close()
+					return err
+				}
+				perNode := c.Stats()
+				total := stats.Sum(perNode)
+				c.Close()
+
+				if n == 1 {
+					// Calibrate: single-node wall time is pure local
+					// computation (all messages are loopback).
+					acc := total.Reads + total.Writes
+					if acc == 0 {
+						acc = 1
+					}
+					accessCost = wall / time.Duration(acc)
+				}
+				var worst time.Duration
+				for _, s := range perNode {
+					ti := time.Duration(s.Reads+s.Writes)*accessCost +
+						time.Duration(s.MsgsSent+s.MsgsRecv)/2*lat +
+						time.Duration(s.BytesSent+s.BytesRecv)/2*perByte
+					if ti > worst {
+						worst = ti
+					}
+				}
+				if n == 1 {
+					base = worst
+				}
+				if chart == nil {
+					chart = stats.NewChart("figure: modeled speedup — "+app.Name(), "nodes", "speedup")
+				}
+				chart.Add(proto.String(), float64(n), float64(base)/float64(worst))
+				t.AddRow(app.Name(), proto.String(), n, ms(worst), float64(base)/float64(worst),
+					total.MsgsSent, float64(total.BytesSent)/1024)
+			}
+		}
+		fmt.Fprintln(w, t)
+		fmt.Fprintln(w, chart)
+	}
+	return nil
+}
+
+// E3Managers compares Li & Hudak's four page-locating strategies on
+// identical workloads with a zero-latency network, counting the
+// protocol's intrinsic message costs. Expected shape: broadcast
+// floods requests, central doubles per-fault messages versus fixed
+// (every transaction detours through node 0 and confirms), dynamic
+// pays occasional forwarding hops but no manager detour.
+func E3Managers(w io.Writer) error {
+	header(w, "E3: manager algorithms (zero latency, message counts)")
+	protos := []core.Protocol{core.SCCentral, core.SCFixed, core.SCDynamic, core.SCBroadcast}
+	suite := func() []apps.App {
+		return []apps.App{apps.NewSOR(48, 32, 6), apps.NewTaskQueue(64, 300)}
+	}
+	for ai := range suite() {
+		t := stats.NewTable("app", "locator", "faults", "msgs", "kbytes", "forwards", "page_xfers")
+		for _, proto := range protos {
+			app := suite()[ai]
+			res, err := Run(core.Config{
+				Nodes:     6,
+				Protocol:  proto,
+				PageSize:  512,
+				HeapBytes: 1 << 20,
+			}, app)
+			if err != nil {
+				return err
+			}
+			t.AddRow(res.App, proto.String(), res.Stats.Faults(), res.Stats.MsgsSent,
+				float64(res.Stats.BytesSent)/1024, res.Stats.Forwards, res.Stats.PageTransfers)
+		}
+		fmt.Fprintln(w, t)
+	}
+	return nil
+}
+
+// E4Classes reproduces the Stumm & Zhou algorithm-class comparison:
+// central-server vs migration vs read-replication vs full-replication
+// across a read-heavy, a write-heavy, and a mixed workload. Expected
+// shape: central-server's message count tracks every access;
+// migration thrashes when two nodes interleave on one page;
+// read-replication wins read sharing; full-replication makes reads
+// free and writes globally expensive.
+func E4Classes(w io.Writer) error {
+	header(w, "E4: algorithm classes (message/byte costs)")
+	protos := []core.Protocol{core.CentralServer, core.Migrate, core.SCFixed, core.FullReplication}
+	suite := func() []apps.App {
+		return []apps.App{
+			apps.NewMatMul(48),         // read-heavy
+			apps.NewFalseShare(12, 32), // write-heavy
+			apps.NewSOR(48, 32, 6),     // mixed
+		}
+	}
+	for ai := range suite() {
+		t := stats.NewTable("app", "class", "time_ms", "msgs", "kbytes", "remote_reads", "remote_writes", "page_xfers")
+		for _, proto := range protos {
+			app := suite()[ai]
+			res, err := Run(core.Config{
+				Nodes:     5,
+				Protocol:  proto,
+				PageSize:  512,
+				HeapBytes: 1 << 20,
+			}, app)
+			if err != nil {
+				return err
+			}
+			t.AddRow(res.App, proto.String(), ms(res.Elapsed), res.Stats.MsgsSent,
+				float64(res.Stats.BytesSent)/1024, res.Stats.DirectReads, res.Stats.DirectWrites,
+				res.Stats.PageTransfers)
+		}
+		fmt.Fprintln(w, t)
+	}
+	return nil
+}
+
+// E5PageSize sweeps the page size for a boundary-sharing stencil and
+// the false-sharing microkernel. Expected shape: single-writer SC
+// degrades as pages grow (false sharing induces ping-ponging), while
+// the multiple-writer protocols stay flat in faults and only grow in
+// bytes.
+func E5PageSize(w io.Writer) error {
+	header(w, "E5: page size and false sharing")
+	protos := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
+	suite := func() []apps.App {
+		return []apps.App{apps.NewSOR(48, 32, 6), apps.NewFalseShare(12, 32)}
+	}
+	for ai := range suite() {
+		t := stats.NewTable("app", "protocol", "page", "time_ms", "faults", "msgs", "kbytes")
+		var chart *stats.Chart
+		for _, proto := range protos {
+			for _, ps := range []int{128, 512, 2048} {
+				app := suite()[ai]
+				res, err := Run(core.Config{
+					Nodes:     5,
+					Protocol:  proto,
+					PageSize:  ps,
+					HeapBytes: 1 << 21,
+				}, app)
+				if err != nil {
+					return err
+				}
+				if chart == nil {
+					chart = stats.NewChart("figure: traffic vs page size — "+res.App, "page_B", "kbytes")
+				}
+				chart.Add(proto.String(), float64(ps), float64(res.Stats.BytesSent)/1024)
+				t.AddRow(res.App, proto.String(), ps, ms(res.Elapsed), res.Stats.Faults(),
+					res.Stats.MsgsSent, float64(res.Stats.BytesSent)/1024)
+			}
+		}
+		fmt.Fprintln(w, t)
+		fmt.Fprintln(w, chart)
+	}
+	return nil
+}
+
+// E6UpdateInv compares eager-RC propagation flavors against SC.
+// Expected shape: update propagation trades bytes for faults —
+// consumers never refetch (few faults, more update traffic);
+// invalidation refetches whole pages on demand.
+func E6UpdateInv(w io.Writer) error {
+	header(w, "E6: invalidate vs update propagation")
+	protos := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.ERCUpdate}
+	suite := func() []apps.App {
+		return []apps.App{apps.NewSOR(48, 32, 6), apps.NewFalseShare(12, 32), apps.NewHistogram(1<<13, 32)}
+	}
+	for ai := range suite() {
+		t := stats.NewTable("app", "protocol", "faults", "msgs", "kbytes", "invalidations", "updates")
+		for _, proto := range protos {
+			app := suite()[ai]
+			res, err := Run(core.Config{
+				Nodes:     5,
+				PageSize:  512,
+				HeapBytes: 1 << 20,
+				Protocol:  proto,
+			}, app)
+			if err != nil {
+				return err
+			}
+			t.AddRow(res.App, proto.String(), res.Stats.Faults(), res.Stats.MsgsSent,
+				float64(res.Stats.BytesSent)/1024, res.Stats.Invalidations, res.Stats.UpdatesApplied)
+		}
+		fmt.Fprintln(w, t)
+	}
+	return nil
+}
+
+// E7LazyEager reproduces the eager-vs-lazy RC comparison, extended
+// with home-based LRC: eager RC propagates everything at release;
+// homeless LRC moves consistency information on sync edges and data
+// only on demand; HLRC flushes diffs to homes at release but
+// validates with one page fetch. Expected shape: LRC sends the
+// fewest messages and bytes; HLRC sits between (flush traffic at
+// release, whole pages on faults, but no diff retention); eager RC
+// pays the most.
+func E7LazyEager(w io.Writer) error {
+	header(w, "E7: eager vs lazy vs home-based release consistency")
+	t := stats.NewTable("app", "protocol", "time_ms", "msgs", "kbytes", "faults", "diffs", "diff_fetches", "notices")
+	suite := func() []apps.App {
+		return []apps.App{
+			apps.NewSOR(48, 32, 6),
+			apps.NewFalseShare(12, 32),
+			apps.NewTaskQueue(64, 300),
+			apps.NewHistogram(1<<13, 32),
+		}
+	}
+	for ai := range suite() {
+		for _, proto := range []core.Protocol{core.ERCInvalidate, core.HLRC, core.LRC} {
+			app := suite()[ai]
+			res, err := Run(core.Config{
+				Nodes:     5,
+				PageSize:  512,
+				HeapBytes: 1 << 20,
+				Protocol:  proto,
+			}, app)
+			if err != nil {
+				return err
+			}
+			t.AddRow(res.App, proto.String(), ms(res.Elapsed), res.Stats.MsgsSent,
+				float64(res.Stats.BytesSent)/1024, res.Stats.Faults(), res.Stats.DiffsCreated,
+				res.Stats.DiffFetches, res.Stats.WriteNotices)
+		}
+	}
+	fmt.Fprintln(w, t)
+	return nil
+}
+
+// E8Entry reproduces Midway's claim: binding data to locks makes a
+// contended handoff a single message carrying both permission and
+// data. Expected shape: EC has the lowest message count on
+// lock-migratory workloads; its grant-payload bytes replace the
+// faults and page transfers the paged protocols pay.
+func E8Entry(w io.Writer) error {
+	header(w, "E8: entry consistency vs paged protocols (lock-only apps)")
+	t := stats.NewTable("app", "protocol", "time_ms", "msgs", "kbytes", "faults", "grant_kb", "locks")
+	suite := func() []apps.App {
+		return []apps.App{apps.NewTaskQueue(64, 300), apps.NewTSP(8), apps.NewHistogram(1<<13, 32)}
+	}
+	for ai := range suite() {
+		for _, proto := range []core.Protocol{core.SCFixed, core.LRC, core.EC, core.ECDiff} {
+			app := suite()[ai]
+			res, err := Run(core.Config{
+				Nodes:     5,
+				PageSize:  512,
+				HeapBytes: 1 << 20,
+				Protocol:  proto,
+			}, app)
+			if err != nil {
+				return err
+			}
+			t.AddRow(res.App, proto.String(), ms(res.Elapsed), res.Stats.MsgsSent,
+				float64(res.Stats.BytesSent)/1024, res.Stats.Faults(),
+				float64(res.Stats.GrantPayloadBytes)/1024, res.Stats.LockAcquires)
+		}
+	}
+	fmt.Fprintln(w, t)
+	return nil
+}
+
+// E9Sync measures the synchronization service itself: contended and
+// uncontended lock handoff, and barrier cost centralized versus
+// tree. Expected shape: uncontended acquire is one round trip;
+// contended handoff adds the forward to the last releaser. For
+// barriers the scalability argument is hub load: the centralized
+// barrier funnels 2N messages per episode through one endpoint
+// (hub_msgs grows linearly with N), while the tree bounds every
+// endpoint at ~2(fanout+1) regardless of N — that bounded hub load
+// is why combining trees win on real networks whose endpoints
+// serialize message processing. (Wall time in this in-process
+// simulator favours fewer hops, i.e. the centralized barrier; the
+// simnet RecvOccupancy model exists to recover endpoint serialization
+// when wall-clock fidelity at the microsecond scale is not needed.)
+func E9Sync(w io.Writer) error {
+	header(w, "E9: lock and barrier service")
+	t := stats.NewTable("benchmark", "nodes", "ops", "total_ms", "us_per_op", "msgs", "hub_msgs_per_op")
+	lockBench := func(nodes, perNode int, contended bool) error {
+		c, err := core.NewCluster(core.Config{Nodes: nodes, PageSize: 256, HeapBytes: 1 << 16, Protocol: core.SCFixed})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		start := time.Now()
+		err = c.Run(func(n *core.Node) error {
+			lock := int32(1)
+			if !contended {
+				lock = int32(10 + n.ID()) // one private lock per node
+			}
+			for i := 0; i < perNode; i++ {
+				if err := n.Acquire(lock); err != nil {
+					return err
+				}
+				if err := n.Release(lock); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		ops := nodes * perNode
+		name := "lock-uncontended"
+		if contended {
+			name = "lock-contended"
+		}
+		hub := int64(0)
+		for _, s := range c.Stats() {
+			if s.MsgsRecv > hub {
+				hub = s.MsgsRecv
+			}
+		}
+		t.AddRow(name, nodes, ops, ms(elapsed),
+			float64(elapsed.Microseconds())/float64(ops), c.TotalStats().MsgsSent,
+			float64(hub)/float64(ops))
+		return nil
+	}
+	barBench := func(nodes, rounds int, tree bool) error {
+		c, err := core.NewCluster(core.Config{
+			Nodes: nodes, PageSize: 256, HeapBytes: 1 << 16,
+			Protocol: core.SCFixed, TreeBarrier: tree, TreeFanout: 4,
+		})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		start := time.Now()
+		err = c.Run(func(n *core.Node) error {
+			for i := 0; i < rounds; i++ {
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		name := "barrier-central"
+		if tree {
+			name = "barrier-tree-f4"
+		}
+		hub := int64(0)
+		for _, s := range c.Stats() {
+			if s.MsgsRecv > hub {
+				hub = s.MsgsRecv
+			}
+		}
+		t.AddRow(name, nodes, rounds, ms(elapsed),
+			float64(elapsed.Microseconds())/float64(rounds), c.TotalStats().MsgsSent,
+			float64(hub)/float64(rounds))
+		return nil
+	}
+	for _, nodes := range []int{4, 16} {
+		if err := lockBench(nodes, 200, false); err != nil {
+			return err
+		}
+		if err := lockBench(nodes, 200, true); err != nil {
+			return err
+		}
+	}
+	for _, nodes := range []int{16, 48} {
+		if err := barBench(nodes, 100, false); err != nil {
+			return err
+		}
+		if err := barBench(nodes, 100, true); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, t)
+	return nil
+}
+
+// E10Diff is the twin/diff ablation: encoded diff size and
+// create+apply cost versus write density, against shipping the whole
+// page. Expected shape: diffs win below roughly half-page density
+// and lose (in bytes) only as the page approaches fully rewritten.
+func E10Diff(w io.Writer) error {
+	header(w, "E10: diff size and cost vs write density (4096-byte page)")
+	const pageSize = 4096
+	t := stats.NewTable("bytes_written", "diff_bytes", "vs_full_page", "create_us", "apply_us")
+	for _, density := range []int{8, 64, 256, 1024, 2048, 4096} {
+		base := make([]byte, pageSize)
+		cur := append([]byte(nil), base...)
+		stride := pageSize / density
+		if stride == 0 {
+			stride = 1
+		}
+		written := 0
+		for i := 0; i < pageSize && written < density; i += stride {
+			cur[i] = byte(i + 1)
+			written++
+		}
+		var diff []byte
+		const reps = 200
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			diff = mem.CreateDiff(base, cur)
+		}
+		create := time.Since(start) / reps
+		dst := make([]byte, pageSize)
+		start = time.Now()
+		for r := 0; r < reps; r++ {
+			if err := mem.ApplyDiff(dst, diff); err != nil {
+				return err
+			}
+		}
+		apply := time.Since(start) / reps
+		t.AddRow(written, len(diff), float64(len(diff))/float64(pageSize),
+			float64(create.Nanoseconds())/1000, float64(apply.Nanoseconds())/1000)
+	}
+	fmt.Fprintln(w, t)
+	return nil
+}

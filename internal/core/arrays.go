@@ -1,0 +1,131 @@
+package core
+
+import "fmt"
+
+// Typed array views over the shared address space. A view is created
+// once on the cluster and used from any node; element accesses go
+// through the node's protocol like any other shared access.
+
+// Float64Array is a shared []float64.
+type Float64Array struct {
+	addr int64
+	len  int
+}
+
+// AllocFloat64 reserves a page-aligned shared float64 array.
+func (c *Cluster) AllocFloat64(n int) (Float64Array, error) {
+	addr, err := c.AllocPage(int64(n) * 8)
+	if err != nil {
+		return Float64Array{}, err
+	}
+	return Float64Array{addr: addr, len: n}, nil
+}
+
+// Len returns the element count.
+func (a Float64Array) Len() int { return a.len }
+
+// Addr returns the base address (for binding or manual access).
+func (a Float64Array) Addr() int64 { return a.addr }
+
+func (a Float64Array) at(i int) int64 {
+	if i < 0 || i >= a.len {
+		panic(fmt.Sprintf("core: Float64Array index %d out of range [0,%d)", i, a.len))
+	}
+	return a.addr + int64(i)*8
+}
+
+// Get loads element i through node n.
+func (a Float64Array) Get(n *Node, i int) (float64, error) {
+	return n.ReadFloat64(a.at(i))
+}
+
+// Set stores element i through node n.
+func (a Float64Array) Set(n *Node, i int, v float64) error {
+	return n.WriteFloat64(a.at(i), v)
+}
+
+// Int64Array is a shared []int64.
+type Int64Array struct {
+	addr int64
+	len  int
+}
+
+// AllocInt64 reserves a page-aligned shared int64 array.
+func (c *Cluster) AllocInt64(n int) (Int64Array, error) {
+	addr, err := c.AllocPage(int64(n) * 8)
+	if err != nil {
+		return Int64Array{}, err
+	}
+	return Int64Array{addr: addr, len: n}, nil
+}
+
+// Len returns the element count.
+func (a Int64Array) Len() int { return a.len }
+
+// Addr returns the base address.
+func (a Int64Array) Addr() int64 { return a.addr }
+
+func (a Int64Array) at(i int) int64 {
+	if i < 0 || i >= a.len {
+		panic(fmt.Sprintf("core: Int64Array index %d out of range [0,%d)", i, a.len))
+	}
+	return a.addr + int64(i)*8
+}
+
+// Get loads element i through node n.
+func (a Int64Array) Get(n *Node, i int) (int64, error) {
+	return n.ReadInt64(a.at(i))
+}
+
+// Set stores element i through node n.
+func (a Int64Array) Set(n *Node, i int, v int64) error {
+	return n.WriteInt64(a.at(i), v)
+}
+
+// Add atomically-within-a-critical-section adds delta to element i;
+// callers must hold a lock covering the element (the method is a
+// convenience, not a synchronization primitive).
+func (a Int64Array) Add(n *Node, i int, delta int64) error {
+	v, err := a.Get(n, i)
+	if err != nil {
+		return err
+	}
+	return a.Set(n, i, v+delta)
+}
+
+// ByteArray is a shared []byte.
+type ByteArray struct {
+	addr int64
+	len  int
+}
+
+// AllocBytes reserves a page-aligned shared byte array.
+func (c *Cluster) AllocBytes(n int) (ByteArray, error) {
+	addr, err := c.AllocPage(int64(n))
+	if err != nil {
+		return ByteArray{}, err
+	}
+	return ByteArray{addr: addr, len: n}, nil
+}
+
+// Len returns the byte count.
+func (a ByteArray) Len() int { return a.len }
+
+// Addr returns the base address.
+func (a ByteArray) Addr() int64 { return a.addr }
+
+// Read copies [off, off+len(buf)) into buf through node n.
+func (a ByteArray) Read(n *Node, off int, buf []byte) error {
+	if off < 0 || off+len(buf) > a.len {
+		panic(fmt.Sprintf("core: ByteArray read [%d,%d) out of range [0,%d)", off, off+len(buf), a.len))
+	}
+	return n.ReadAt(a.addr+int64(off), buf)
+}
+
+// Write copies buf into [off, off+len(buf)) through node n.
+func (a ByteArray) Write(n *Node, off int, buf []byte) error {
+	if off < 0 || off+len(buf) > a.len {
+		panic(fmt.Sprintf("core: ByteArray write [%d,%d) out of range [0,%d)", off, off+len(buf), a.len))
+	}
+	return n.WriteAt(a.addr+int64(off), buf)
+}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func arrayCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{Nodes: 3, Protocol: core.SCDynamic, PageSize: 256, HeapBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestFloat64Array(t *testing.T) {
+	c := arrayCluster(t)
+	a, err := c.AllocFloat64(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 10 || a.Addr()%int64(c.PageSize()) != 0 {
+		t.Fatalf("array meta: len %d addr %d", a.Len(), a.Addr())
+	}
+	if err := a.Set(c.Node(0), 3, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := a.Get(c.Node(2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2.5 {
+		t.Fatalf("cross-node get = %v", v)
+	}
+}
+
+func TestInt64ArrayAdd(t *testing.T) {
+	c := arrayCluster(t)
+	a, err := c.AllocInt64(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Add(c.Node(i%3), 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := a.Get(c.Node(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Fatalf("sum = %d", v)
+	}
+}
+
+func TestByteArray(t *testing.T) {
+	c := arrayCluster(t)
+	a, err := c.AllocBytes(600) // spans pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, 300)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := a.Write(c.Node(1), 250, src); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 300)
+	if err := a.Read(c.Node(2), 250, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("byte array round trip failed")
+	}
+}
+
+func TestArrayBoundsPanic(t *testing.T) {
+	c := arrayCluster(t)
+	a, _ := c.AllocFloat64(2)
+	for _, idx := range []int{-1, 2} {
+		idx := idx
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("index %d did not panic", idx)
+				}
+			}()
+			_, _ = a.Get(c.Node(0), idx)
+		}()
+	}
+	b, _ := c.AllocBytes(8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range byte write did not panic")
+			}
+		}()
+		_ = b.Write(c.Node(0), 4, make([]byte, 8))
+	}()
+}

@@ -1,0 +1,472 @@
+// Package core is the public API of the DSM system: it assembles a
+// simulated cluster (network, per-node runtimes, a protocol engine,
+// and the synchronization service), exposes the shared address space
+// through allocation helpers and typed array views, and runs
+// application functions one per node.
+//
+// A minimal program:
+//
+//	c, _ := core.NewCluster(core.Config{Nodes: 4, Protocol: core.LRC})
+//	defer c.Close()
+//	counter := c.MustAlloc(8)
+//	c.Run(func(n *core.Node) error {
+//	    n.Acquire(1)
+//	    v, _ := n.ReadUint64(counter)
+//	    n.WriteUint64(counter, v+1)
+//	    n.Release(1)
+//	    return n.Barrier(0)
+//	})
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/dsync"
+	"repro/internal/mem"
+	"repro/internal/nodecore"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Protocol selects the coherence/consistency engine.
+type Protocol int
+
+const (
+	// SCCentral: sequential consistency, write-invalidate, one
+	// central manager (Li & Hudak centralized manager).
+	SCCentral Protocol = iota
+	// SCFixed: write-invalidate with statically distributed managers.
+	SCFixed
+	// SCDynamic: write-invalidate with probable-owner chains.
+	SCDynamic
+	// SCBroadcast: write-invalidate locating owners by broadcast.
+	SCBroadcast
+	// Migrate: single-copy page migration (SRSW class).
+	Migrate
+	// CentralServer: no caching; every access is a remote operation
+	// on the page's server (the simplest Stumm & Zhou class).
+	CentralServer
+	// FullReplication: read-replicated pages with write-update
+	// through a per-page sequencer (MRMW class).
+	FullReplication
+	// ERCInvalidate: eager release consistency, home-based
+	// multiple-writer with twins/diffs, invalidating sharers on flush.
+	ERCInvalidate
+	// ERCUpdate: eager release consistency propagating diffs to
+	// sharers (Munin-style update).
+	ERCUpdate
+	// LRC: lazy release consistency (TreadMarks-style intervals,
+	// write notices, on-demand diffs).
+	LRC
+	// HLRC: home-based lazy release consistency (Zhou/Iftode/Li):
+	// LRC's notices, but diffs flush to per-page homes at interval
+	// close and invalid pages revalidate with one home fetch.
+	HLRC
+	// EC: entry consistency (Midway-style lock-bound data shipped
+	// with lock grants).
+	EC
+	// ECDiff: entry consistency shipping version-tagged diffs of the
+	// bound ranges instead of full copies — the byte-range equivalent
+	// of Midway's fine-grained updates.
+	ECDiff
+	numProtocols
+)
+
+var protocolNames = [...]string{
+	SCCentral:       "sc-central",
+	SCFixed:         "sc-fixed",
+	SCDynamic:       "sc-dynamic",
+	SCBroadcast:     "sc-broadcast",
+	Migrate:         "migrate",
+	CentralServer:   "central-server",
+	FullReplication: "full-replication",
+	ERCInvalidate:   "erc-invalidate",
+	ERCUpdate:       "erc-update",
+	LRC:             "lrc",
+	HLRC:            "hlrc",
+	EC:              "ec",
+	ECDiff:          "ec-diff",
+}
+
+// String names the protocol.
+func (p Protocol) String() string {
+	if p >= 0 && int(p) < len(protocolNames) {
+		return protocolNames[p]
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Protocols lists every available protocol, for experiment sweeps.
+func Protocols() []Protocol {
+	out := make([]Protocol, 0, int(numProtocols))
+	for p := Protocol(0); p < numProtocols; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ReleaseConsistent reports whether the protocol requires
+// data-race-free applications synchronizing through locks/barriers
+// (as opposed to per-access sequential consistency).
+func (p Protocol) ReleaseConsistent() bool {
+	switch p {
+	case ERCInvalidate, ERCUpdate, LRC, HLRC, EC, ECDiff:
+		return true
+	}
+	return false
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the cluster size (required, >= 1).
+	Nodes int
+	// Protocol selects the engine (default SCFixed).
+	Protocol Protocol
+	// PageSize in bytes, a power of two (default 1024).
+	PageSize int
+	// HeapBytes is the shared address space size (default 1 MiB).
+	HeapBytes int64
+
+	// Latency is the per-message network delay; PerByte adds a
+	// bandwidth cost. Zero models an infinitely fast network (useful
+	// for counting messages rather than measuring time).
+	Latency time.Duration
+	PerByte time.Duration
+	// RecvOccupancy models the serial per-message processing cost at
+	// each receiving endpoint; hot spots (central managers,
+	// barrier hubs) saturate when it is non-zero.
+	RecvOccupancy time.Duration
+	// Jitter adds deterministic pseudo-random extra delay in
+	// [0, Jitter) per message, for stress-testing interleavings.
+	Jitter time.Duration
+	Seed   int64
+
+	// TreeBarrier selects the tree barrier; TreeFanout its arity.
+	TreeBarrier bool
+	TreeFanout  int
+
+	// LRCBarrierGC enables lazy release consistency's barrier-time
+	// garbage collection: barriers validate pending write notices
+	// eagerly and reclaim diffs every node has seen, bounding memory
+	// for long-running barrier programs. Ignored by other protocols.
+	LRCBarrierGC bool
+
+	// Advise records every access's page and node and makes a
+	// Munin-style sharing-pattern classification available through
+	// Cluster.Advisor().
+	Advise bool
+
+	// CallTimeout bounds internal RPCs (default 30s).
+	CallTimeout time.Duration
+	// Trace, if set, observes every delivered message.
+	Trace func(*wire.Msg)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("core: Config.Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 1024
+	}
+	if c.PageSize < 8 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("core: Config.PageSize must be a power of two >= 8, got %d", c.PageSize)
+	}
+	if c.HeapBytes == 0 {
+		c.HeapBytes = 1 << 20
+	}
+	if c.Protocol < 0 || c.Protocol >= numProtocols {
+		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
+	}
+	return nil
+}
+
+// Cluster is a running DSM system.
+type Cluster struct {
+	cfg   Config
+	net   *simnet.Net
+	nodes []*Node
+	sts   []*stats.Node
+
+	allocMu sync.Mutex
+	next    int64
+
+	bindMu   sync.Mutex
+	bindings map[int32][]Range
+
+	adv *advisor.Collector
+
+	closeOnce sync.Once
+}
+
+// Range is a shared-memory byte range, used for entry-consistency
+// lock bindings.
+type Range struct {
+	Addr int64
+	Len  int
+}
+
+// Node is one DSM node; application functions receive their node and
+// access shared memory and synchronization through it.
+type Node struct {
+	c    *Cluster
+	rt   *nodecore.Runtime
+	sync *dsync.Service
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	net, err := simnet.New(simnet.Config{
+		Nodes:         cfg.Nodes,
+		Latency:       simnet.ConstLatency(cfg.Latency, cfg.PerByte),
+		RecvOccupancy: cfg.RecvOccupancy,
+		Jitter:        cfg.Jitter,
+		Seed:          cfg.Seed,
+		Trace:         cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		net:      net,
+		bindings: make(map[int32][]Range),
+	}
+	if cfg.Advise {
+		pages := int((cfg.HeapBytes + int64(cfg.PageSize) - 1) / int64(cfg.PageSize))
+		c.adv = advisor.New(pages, cfg.Nodes)
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		tbl, err := mem.NewTable(cfg.HeapBytes, cfg.PageSize)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		st := &stats.Node{}
+		rt := nodecore.New(simnet.NodeID(i), cfg.Nodes, net.Endpoint(simnet.NodeID(i)), tbl, st)
+		if cfg.CallTimeout > 0 {
+			rt.SetCallTimeout(cfg.CallTimeout)
+		}
+		if c.adv != nil {
+			rt.SetAccessCollector(c.adv)
+		}
+		svc := dsync.New(rt, nil, dsync.Config{
+			TreeBarrier: cfg.TreeBarrier,
+			TreeFanout:  cfg.TreeFanout,
+		})
+		n := &Node{c: c, rt: rt, sync: svc}
+		engine, hooks, err := c.buildEngine(rt, svc)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		rt.SetEngine(engine)
+		if hooks != nil {
+			svc.SetHooks(hooks)
+		}
+		c.nodes = append(c.nodes, n)
+		c.sts = append(c.sts, st)
+	}
+	for _, n := range c.nodes {
+		n.rt.Start()
+	}
+	for _, n := range c.nodes {
+		n.rt.Engine().Init()
+	}
+	return c, nil
+}
+
+// Close shuts the cluster down. It is safe to call more than once.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.net.Close()
+		for _, n := range c.nodes {
+			n.rt.Close()
+		}
+	})
+}
+
+// Config returns the cluster's (default-filled) configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// N returns the node count.
+func (c *Cluster) N() int { return c.cfg.Nodes }
+
+// Node returns node i, for tests and tools that drive nodes
+// directly; applications normally use Run.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// PageSize returns the configured page size.
+func (c *Cluster) PageSize() int { return c.cfg.PageSize }
+
+// Run executes fn once per node concurrently and waits for all to
+// finish. It returns the chronologically first error: when one node
+// fails early, the others typically time out later at a barrier or
+// lock, and those secondary timeouts would mask the root cause.
+func (c *Cluster) Run(fn func(n *Node) error) error {
+	var (
+		mu    sync.Mutex
+		first error
+		wg    sync.WaitGroup
+	)
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			if err := fn(n); err != nil {
+				mu.Lock()
+				if first == nil {
+					first = fmt.Errorf("core: node %d: %w", i, err)
+				}
+				mu.Unlock()
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	return first
+}
+
+// Stats returns a per-node snapshot of the counters.
+func (c *Cluster) Stats() []stats.Snapshot {
+	out := make([]stats.Snapshot, len(c.sts))
+	for i, st := range c.sts {
+		out[i] = st.Snapshot()
+	}
+	return out
+}
+
+// TotalStats aggregates all nodes' counters.
+func (c *Cluster) TotalStats() stats.Snapshot { return stats.Sum(c.Stats()) }
+
+// Advisor returns the sharing-pattern collector, or nil unless
+// Config.Advise was set.
+func (c *Cluster) Advisor() *advisor.Collector { return c.adv }
+
+// Alloc reserves n bytes of shared address space aligned to align (a
+// power of two; 0 means 8). Allocation is a deterministic bump
+// allocator — all nodes see the same layout by construction, as in a
+// statically laid out DSM program.
+func (c *Cluster) Alloc(n int64, align int64) (int64, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("core: Alloc(%d): negative size", n)
+	}
+	if align == 0 {
+		align = 8
+	}
+	if align < 1 || align&(align-1) != 0 {
+		return 0, fmt.Errorf("core: Alloc: alignment %d is not a power of two", align)
+	}
+	c.allocMu.Lock()
+	defer c.allocMu.Unlock()
+	addr := (c.next + align - 1) &^ (align - 1)
+	if addr+n > c.cfg.HeapBytes {
+		return 0, fmt.Errorf("core: Alloc: heap exhausted: want %d bytes at %#x, heap is %#x", n, addr, c.cfg.HeapBytes)
+	}
+	c.next = addr + n
+	return addr, nil
+}
+
+// AllocPage reserves n bytes aligned to a page boundary, avoiding
+// false sharing with neighbouring allocations.
+func (c *Cluster) AllocPage(n int64) (int64, error) {
+	return c.Alloc(n, int64(c.cfg.PageSize))
+}
+
+// MustAlloc is Alloc(n, 0) panicking on failure, for setup code.
+func (c *Cluster) MustAlloc(n int64) int64 {
+	addr, err := c.Alloc(n, 0)
+	if err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// Bind associates a shared-memory range with a lock for entry
+// consistency: the range's current contents travel with the lock's
+// grants. Bind must be called before the data is used and with the
+// same arguments on the single cluster (bindings are cluster-wide).
+// Protocols other than EC ignore bindings.
+func (c *Cluster) Bind(lock int32, addr int64, length int) {
+	c.bindMu.Lock()
+	defer c.bindMu.Unlock()
+	c.bindings[lock] = append(c.bindings[lock], Range{Addr: addr, Len: length})
+}
+
+// BindEvent associates a shared-memory range with an event for entry
+// consistency: the range's contents travel with the event firing.
+func (c *Cluster) BindEvent(event int32, addr int64, length int) {
+	c.Bind(dsync.EventHookID(event), addr, length)
+}
+
+// BindingsOf returns the ranges bound to a lock.
+func (c *Cluster) BindingsOf(lock int32) []Range {
+	c.bindMu.Lock()
+	defer c.bindMu.Unlock()
+	return append([]Range(nil), c.bindings[lock]...)
+}
+
+// ---------------------------------------------------------------
+// Node API
+// ---------------------------------------------------------------
+
+// ID returns this node's id in [0, N).
+func (n *Node) ID() int { return int(n.rt.ID()) }
+
+// N returns the cluster size.
+func (n *Node) N() int { return n.rt.N() }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.c }
+
+// ReadAt copies shared memory [addr, addr+len(buf)) into buf.
+func (n *Node) ReadAt(addr int64, buf []byte) error { return n.rt.ReadAt(addr, buf) }
+
+// WriteAt copies buf into shared memory at addr.
+func (n *Node) WriteAt(addr int64, buf []byte) error { return n.rt.WriteAt(addr, buf) }
+
+// ReadUint64 loads the 8-byte value at addr.
+func (n *Node) ReadUint64(addr int64) (uint64, error) { return n.rt.ReadUint64(addr) }
+
+// WriteUint64 stores an 8-byte value at addr.
+func (n *Node) WriteUint64(addr int64, v uint64) error { return n.rt.WriteUint64(addr, v) }
+
+// ReadInt64 loads the signed 8-byte value at addr.
+func (n *Node) ReadInt64(addr int64) (int64, error) { return n.rt.ReadInt64(addr) }
+
+// WriteInt64 stores a signed 8-byte value at addr.
+func (n *Node) WriteInt64(addr int64, v int64) error { return n.rt.WriteInt64(addr, v) }
+
+// ReadFloat64 loads the 8-byte float at addr.
+func (n *Node) ReadFloat64(addr int64) (float64, error) { return n.rt.ReadFloat64(addr) }
+
+// WriteFloat64 stores an 8-byte float at addr.
+func (n *Node) WriteFloat64(addr int64, v float64) error { return n.rt.WriteFloat64(addr, v) }
+
+// Acquire obtains lock id exclusively.
+func (n *Node) Acquire(id int32) error { return n.sync.Acquire(id) }
+
+// AcquireShared obtains lock id in shared (reader) mode.
+func (n *Node) AcquireShared(id int32) error { return n.sync.AcquireShared(id) }
+
+// Release gives up lock id.
+func (n *Node) Release(id int32) error { return n.sync.Release(id) }
+
+// Barrier waits until every node has reached barrier id.
+func (n *Node) Barrier(id int32) error { return n.sync.Barrier(id) }
+
+// EventWait blocks until event id is set (an acquire: the setter's
+// writes — and, under EC, the event's bound data — become visible).
+func (n *Node) EventWait(id int32) error { return n.sync.EventWait(id) }
+
+// EventSet fires the set-once event id, releasing all waiters.
+func (n *Node) EventSet(id int32) error { return n.sync.EventSet(id) }
+
+// Runtime exposes the node runtime for advanced tooling and tests.
+func (n *Node) Runtime() *nodecore.Runtime { return n.rt }

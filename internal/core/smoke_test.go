@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// scProtocols are the per-access sequentially consistent protocols,
+// testable with lock-free as well as locked programs.
+func scProtocols() []core.Protocol {
+	return []core.Protocol{core.SCCentral, core.SCFixed, core.SCDynamic, core.SCBroadcast, core.Migrate}
+}
+
+// TestSmokeSharedCounter increments one shared counter from every
+// node under a lock and checks the total. Lock-protected counting is
+// data-race-free, so every protocol must get it right. For EC the
+// counter is bound to the lock.
+func TestSmokeSharedCounter(t *testing.T) {
+	for _, proto := range core.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := core.NewCluster(core.Config{Nodes: 4, Protocol: proto, PageSize: 256, HeapBytes: 1 << 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			counter := c.MustAlloc(8)
+			c.Bind(7, counter, 8) // used by EC only
+			const perNode = 25
+			err = c.Run(func(n *core.Node) error {
+				for i := 0; i < perNode; i++ {
+					if err := n.Acquire(7); err != nil {
+						return err
+					}
+					v, err := n.ReadUint64(counter)
+					if err != nil {
+						return err
+					}
+					if err := n.WriteUint64(counter, v+1); err != nil {
+						return err
+					}
+					if err := n.Release(7); err != nil {
+						return err
+					}
+				}
+				return n.Barrier(0)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Read under the lock so the check is legal for every
+			// consistency model (EC only guarantees bound data while
+			// the binding lock is held).
+			n0 := c.Node(0)
+			if err := n0.Acquire(7); err != nil {
+				t.Fatal(err)
+			}
+			got, err := n0.ReadUint64(counter)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n0.Release(7); err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(4 * perNode); got != want {
+				t.Fatalf("counter = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+// TestSmokeProducerConsumer has node 0 publish data guarded by a
+// flag; every protocol here is per-access SC, so flag-based
+// synchronization is legal.
+func TestSmokeProducerConsumer(t *testing.T) {
+	for _, proto := range scProtocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := core.NewCluster(core.Config{Nodes: 3, Protocol: proto, PageSize: 128, HeapBytes: 1 << 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			data := c.MustAlloc(64)
+			flag := c.MustAlloc(8)
+			err = c.Run(func(n *core.Node) error {
+				if n.ID() == 0 {
+					for i := int64(0); i < 8; i++ {
+						if err := n.WriteUint64(data+8*i, uint64(100+i)); err != nil {
+							return err
+						}
+					}
+					return n.WriteUint64(flag, 1)
+				}
+				for {
+					v, err := n.ReadUint64(flag)
+					if err != nil {
+						return err
+					}
+					if v == 1 {
+						break
+					}
+				}
+				for i := int64(0); i < 8; i++ {
+					v, err := n.ReadUint64(data + 8*i)
+					if err != nil {
+						return err
+					}
+					if v != uint64(100+i) {
+						return fmt.Errorf("data[%d] = %d, want %d", i, v, 100+i)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEventProducerConsumer exercises the event service under every
+// protocol: the setter's writes must be visible to waiters, with the
+// data bound to the event for entry consistency.
+func TestEventProducerConsumer(t *testing.T) {
+	for _, proto := range core.Protocols() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c, err := core.NewCluster(core.Config{Nodes: 4, Protocol: proto, PageSize: 256, HeapBytes: 1 << 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			data := c.MustAlloc(64)
+			c.BindEvent(3, data, 64)
+			err = c.Run(func(n *core.Node) error {
+				if n.ID() == 1 {
+					for i := int64(0); i < 8; i++ {
+						if err := n.WriteUint64(data+8*i, uint64(200+i)); err != nil {
+							return err
+						}
+					}
+					return n.EventSet(3)
+				}
+				if err := n.EventWait(3); err != nil {
+					return err
+				}
+				for i := int64(0); i < 8; i++ {
+					v, err := n.ReadUint64(data + 8*i)
+					if err != nil {
+						return err
+					}
+					if v != uint64(200+i) {
+						return fmt.Errorf("node %d: word %d = %d after event", n.ID(), i, v)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAdvisorClassifiesPatterns drives distinct sharing patterns
+// through a cluster and checks the advisor's labels end to end.
+func TestAdvisorClassifiesPatterns(t *testing.T) {
+	c, err := core.NewCluster(core.Config{
+		Nodes: 3, Protocol: core.SCFixed, PageSize: 256, HeapBytes: 1 << 12, Advise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	prodCons, _ := c.AllocPage(8) // page 0
+	readOnly, _ := c.AllocPage(8) // page 1
+	private, _ := c.AllocPage(8)  // page 2
+	err = c.Run(func(n *core.Node) error {
+		if n.ID() == 0 {
+			for i := 0; i < 5; i++ {
+				if err := n.WriteUint64(prodCons, uint64(i)); err != nil {
+					return err
+				}
+			}
+			if err := n.WriteUint64(readOnly, 7); err != nil {
+				return err
+			}
+		}
+		if n.ID() == 2 {
+			for i := 0; i < 9; i++ {
+				if err := n.WriteUint64(private, uint64(i)); err != nil {
+					return err
+				}
+			}
+		}
+		if err := n.Barrier(0); err != nil {
+			return err
+		}
+		if n.ID() != 0 {
+			for i := 0; i < 10; i++ {
+				if _, err := n.ReadUint64(prodCons); err != nil {
+					return err
+				}
+			}
+		}
+		for i := 0; i < 6; i++ {
+			if _, err := n.ReadUint64(readOnly); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := c.Advisor()
+	if adv == nil {
+		t.Fatal("advisor not enabled")
+	}
+	if got := adv.Classify(0); got.String() != "producer-consumer" {
+		t.Errorf("page 0 classified %v", got)
+	}
+	if got := adv.Classify(2); got.String() != "private" {
+		t.Errorf("page 2 classified %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+package dsync
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestEventBlocksUntilSet(t *testing.T) {
+	f := newFixture(t, 3, Config{}, nil)
+	var fired atomic.Bool
+	done := make(chan error, 2)
+	for _, i := range []int{1, 2} {
+		go func(i int) {
+			err := f.svcs[i].EventWait(4)
+			if !fired.Load() {
+				t.Errorf("waiter %d released before set", i)
+			}
+			done <- err
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("waiter returned before set")
+	default:
+	}
+	fired.Store(true)
+	if err := f.svcs[0].EventSet(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEventWaitAfterSet(t *testing.T) {
+	f := newFixture(t, 2, Config{}, nil)
+	if err := f.svcs[0].EventSet(9); err != nil {
+		t.Fatal(err)
+	}
+	// A later wait must return promptly.
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.svcs[1].EventWait(9) }()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wait after set never returned")
+	}
+	// Including on the setter's own node.
+	if err := f.svcs[0].EventWait(9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventPayloadFromSetter(t *testing.T) {
+	hooks := make([]*payloadHooks, 3)
+	f := newFixture(t, 3, Config{}, func(i int) Hooks {
+		hooks[i] = &payloadHooks{id: i}
+		return hooks[i]
+	})
+	// Node 2 sets; node 0 waits afterwards. The grant payload must be
+	// built by node 2 (the setter) and reflect node 0's request.
+	if err := f.svcs[2].EventSet(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.svcs[0].EventWait(5); err != nil {
+		t.Fatal(err)
+	}
+	hooks[0].mu.Lock()
+	defer hooks[0].mu.Unlock()
+	want := "grant-by-2-for-req-from-0"
+	if len(hooks[0].granted) != 1 || hooks[0].granted[0] != want {
+		t.Fatalf("granted = %q, want [%q]", hooks[0].granted, want)
+	}
+}
+
+func TestManyEventsConcurrent(t *testing.T) {
+	const n = 4
+	f := newFixture(t, n, Config{}, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each node sets one event and waits on all others.
+			if err := f.svcs[i].EventSet(int32(100 + i)); err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < n; j++ {
+				if err := f.svcs[i].EventWait(int32(100 + j)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestEventDoubleSetPanicsAtManager(t *testing.T) {
+	f := newFixture(t, 1, Config{}, nil)
+	if err := f.svcs[0].EventSet(3); err != nil {
+		t.Fatal(err)
+	}
+	// The set travels through the loopback path; wait until the
+	// manager has processed it before provoking the double set.
+	if err := f.svcs[0].EventWait(3); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double set did not panic")
+		}
+	}()
+	// Single node: the manager is local, so the handler panic
+	// propagates through the loopback handler goroutine — invoke the
+	// handler path directly for determinism.
+	f.svcs[0].handleEvtSet(&wire.Msg{Kind: wire.KEvtSet, Lock: 3, From: 0})
+}

@@ -1,0 +1,107 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bitset is a fixed-capacity set of small non-negative integers, used
+// for page copysets (which nodes hold a copy of a page). The zero
+// value is an empty set that grows on Add.
+type Bitset struct {
+	words []uint64
+}
+
+// NewBitset returns an empty set sized for values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64)}
+}
+
+func (b *Bitset) grow(i int) {
+	for i/64 >= len(b.words) {
+		b.words = append(b.words, 0)
+	}
+}
+
+// Add inserts i.
+func (b *Bitset) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("mem: Bitset.Add(%d): negative element", i))
+	}
+	b.grow(i)
+	b.words[i/64] |= 1 << (i % 64)
+}
+
+// Remove deletes i; removing an absent element is a no-op.
+func (b *Bitset) Remove(i int) {
+	if i < 0 || i/64 >= len(b.words) {
+		return
+	}
+	b.words[i/64] &^= 1 << (i % 64)
+}
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool {
+	if i < 0 || i/64 >= len(b.words) {
+		return false
+	}
+	return b.words[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of elements.
+func (b *Bitset) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set, keeping capacity.
+func (b *Bitset) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// ForEach calls fn for every element in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &^= 1 << bit
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (b *Bitset) Elems() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words))}
+	copy(c.words, b.words)
+	return c
+}
+
+// String renders the set as "{a b c}".
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) {
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprint(&sb, i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

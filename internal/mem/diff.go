@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Diff encoding: a sequence of runs, each
+//
+//	uvarint offset-delta (gap since end of previous run)
+//	uvarint run length  (> 0)
+//	length bytes of new data
+//
+// terminated by the end of the buffer. Runs are strictly ascending and
+// non-overlapping, so applying a diff is a single left-to-right pass.
+// This is the word-diff representation used by Munin and TreadMarks to
+// support multiple concurrent writers of one page: data-race-free
+// programs produce diffs with disjoint runs, so diffs from concurrent
+// intervals can be applied in any order.
+
+// CreateDiff encodes the byte ranges where cur differs from base
+// (the twin). The two slices must have equal length. A nil return
+// means the page is unchanged.
+func CreateDiff(base, cur []byte) []byte {
+	if len(base) != len(cur) {
+		panic(fmt.Sprintf("mem: CreateDiff: twin length %d != page length %d", len(base), len(cur)))
+	}
+	var out []byte
+	prevEnd := 0
+	i := 0
+	n := len(cur)
+	for i < n {
+		if base[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < n && base[i] != cur[i] {
+			i++
+		}
+		// Runs contain only genuinely changed bytes. Coalescing runs
+		// across short unchanged gaps would shrink headers but embed
+		// base-valued bytes in the run — and those would overwrite a
+		// concurrent writer's changes when diffs from disjoint writers
+		// merge, which is exactly the multiple-writer case twins and
+		// diffs exist for.
+		out = binary.AppendUvarint(out, uint64(start-prevEnd))
+		out = binary.AppendUvarint(out, uint64(i-start))
+		out = append(out, cur[start:i]...)
+		prevEnd = i
+	}
+	return out
+}
+
+// ApplyDiff patches dst in place with a diff produced by CreateDiff.
+// It returns an error if the diff is malformed or overruns dst.
+func ApplyDiff(dst, diff []byte) error {
+	pos := 0
+	for len(diff) > 0 {
+		gap, n := binary.Uvarint(diff)
+		if n <= 0 {
+			return fmt.Errorf("mem: ApplyDiff: bad gap varint at byte %d", pos)
+		}
+		diff = diff[n:]
+		length, n := binary.Uvarint(diff)
+		if n <= 0 || length == 0 {
+			return fmt.Errorf("mem: ApplyDiff: bad length varint")
+		}
+		diff = diff[n:]
+		if uint64(len(diff)) < length {
+			return fmt.Errorf("mem: ApplyDiff: truncated run payload: want %d, have %d", length, len(diff))
+		}
+		start := pos + int(gap)
+		end := start + int(length)
+		if end > len(dst) {
+			return fmt.Errorf("mem: ApplyDiff: run [%d,%d) exceeds page size %d", start, end, len(dst))
+		}
+		copy(dst[start:end], diff[:length])
+		diff = diff[length:]
+		pos = end
+	}
+	return nil
+}
+
+// DiffRanges reports the (offset, length) runs encoded in a diff,
+// without applying it. Useful for tests and tracing.
+func DiffRanges(diff []byte) ([][2]int, error) {
+	var runs [][2]int
+	pos := 0
+	for len(diff) > 0 {
+		gap, n := binary.Uvarint(diff)
+		if n <= 0 {
+			return nil, fmt.Errorf("mem: DiffRanges: bad gap varint")
+		}
+		diff = diff[n:]
+		length, n := binary.Uvarint(diff)
+		if n <= 0 || length == 0 {
+			return nil, fmt.Errorf("mem: DiffRanges: bad length varint")
+		}
+		diff = diff[n:]
+		if uint64(len(diff)) < length {
+			return nil, fmt.Errorf("mem: DiffRanges: truncated payload")
+		}
+		start := pos + int(gap)
+		runs = append(runs, [2]int{start, int(length)})
+		diff = diff[length:]
+		pos = start + int(length)
+	}
+	return runs, nil
+}

@@ -1,0 +1,184 @@
+package nodecore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// ReadAt copies len(buf) bytes of shared memory starting at addr into
+// buf, faulting pages in as needed. It is the software equivalent of
+// a load instruction sequence on hardware DSM.
+func (r *Runtime) ReadAt(addr int64, buf []byte) error {
+	r.st.Reads.Add(1)
+	if len(buf) == 0 {
+		return nil
+	}
+	if r.collector != nil {
+		for _, c := range r.tbl.Split(addr, len(buf)) {
+			r.collector.Observe(int(r.id), c.Page, false)
+		}
+	}
+	if r.direct != nil {
+		if handled, err := r.direct.DirectRead(addr, buf); handled {
+			return err
+		}
+	}
+	for _, c := range r.tbl.Split(addr, len(buf)) {
+		if err := r.readChunk(c, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime) readChunk(c mem.Chunk, buf []byte) error {
+	p := r.tbl.Page(c.Page)
+	p.Lock()
+	defer p.Unlock()
+	for p.Prot() < mem.ReadOnly {
+		if p.LatchBusy() {
+			p.LatchWait()
+			continue
+		}
+		p.LatchAcquire()
+		p.Unlock()
+		r.st.ReadFaults.Add(1)
+		err := r.engine.ReadFault(c.Page)
+		p.Lock()
+		p.LatchRelease()
+		if err != nil {
+			return fmt.Errorf("node %d: read fault page %d: %w", r.id, c.Page, err)
+		}
+	}
+	p.ReadInto(buf[c.Pos:c.Pos+c.Len], c.Off)
+	return nil
+}
+
+// WriteAt copies buf into shared memory starting at addr, faulting
+// pages to writable state as needed.
+func (r *Runtime) WriteAt(addr int64, buf []byte) error {
+	r.st.Writes.Add(1)
+	if len(buf) == 0 {
+		return nil
+	}
+	if r.collector != nil {
+		for _, c := range r.tbl.Split(addr, len(buf)) {
+			r.collector.Observe(int(r.id), c.Page, true)
+		}
+	}
+	if r.direct != nil {
+		if handled, err := r.direct.DirectWrite(addr, buf); handled {
+			return err
+		}
+	}
+	for _, c := range r.tbl.Split(addr, len(buf)) {
+		if err := r.writeChunk(c, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Runtime) writeChunk(c mem.Chunk, buf []byte) error {
+	p := r.tbl.Page(c.Page)
+	p.Lock()
+	defer p.Unlock()
+	for p.Prot() < mem.ReadWrite {
+		if p.LatchBusy() {
+			p.LatchWait()
+			continue
+		}
+		p.LatchAcquire()
+		p.Unlock()
+		r.st.WriteFaults.Add(1)
+		err := r.engine.WriteFault(c.Page)
+		p.Lock()
+		p.LatchRelease()
+		if err != nil {
+			return fmt.Errorf("node %d: write fault page %d: %w", r.id, c.Page, err)
+		}
+	}
+	p.WriteFrom(buf[c.Pos:c.Pos+c.Len], c.Off)
+	return nil
+}
+
+// Typed accessors. Values are stored little-endian. An aligned value
+// never spans pages because page sizes are powers of two >= 8.
+
+// ReadUint64 loads the 8-byte value at addr.
+func (r *Runtime) ReadUint64(addr int64) (uint64, error) {
+	var b [8]byte
+	if err := r.ReadAt(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteUint64 stores an 8-byte value at addr.
+func (r *Runtime) WriteUint64(addr int64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return r.WriteAt(addr, b[:])
+}
+
+// ReadInt64 loads a signed 8-byte value.
+func (r *Runtime) ReadInt64(addr int64) (int64, error) {
+	v, err := r.ReadUint64(addr)
+	return int64(v), err
+}
+
+// WriteInt64 stores a signed 8-byte value.
+func (r *Runtime) WriteInt64(addr int64, v int64) error {
+	return r.WriteUint64(addr, uint64(v))
+}
+
+// ReadFloat64 loads an 8-byte IEEE-754 value.
+func (r *Runtime) ReadFloat64(addr int64) (float64, error) {
+	v, err := r.ReadUint64(addr)
+	return math.Float64frombits(v), err
+}
+
+// WriteFloat64 stores an 8-byte IEEE-754 value.
+func (r *Runtime) WriteFloat64(addr int64, v float64) error {
+	return r.WriteUint64(addr, math.Float64bits(v))
+}
+
+// ReadUint32 loads a 4-byte value at addr.
+func (r *Runtime) ReadUint32(addr int64) (uint32, error) {
+	var b [4]byte
+	if err := r.ReadAt(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteUint32 stores a 4-byte value at addr.
+func (r *Runtime) WriteUint32(addr int64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return r.WriteAt(addr, b[:])
+}
+
+// TxLocks serializes page transactions at the node that manages or
+// owns each page. It is distinct from the page mutex (which protects
+// contents and is never held across the network) — a transaction
+// lock IS held across nested RPCs, which is safe because transaction
+// locks are only taken by the single serializer of each page.
+type TxLocks struct {
+	mu []sync.Mutex
+}
+
+// NewTxLocks sizes the lock table for the page count.
+func NewTxLocks(pages int) *TxLocks {
+	return &TxLocks{mu: make([]sync.Mutex, pages)}
+}
+
+// Lock acquires the transaction lock for a page.
+func (t *TxLocks) Lock(p mem.PageID) { t.mu[p].Lock() }
+
+// Unlock releases the transaction lock for a page.
+func (t *TxLocks) Unlock(p mem.PageID) { t.mu[p].Unlock() }

@@ -1,0 +1,322 @@
+// Package nodecore implements the per-node runtime shared by every
+// DSM protocol engine: the message dispatch loop, request/reply
+// matching, the software-MMU access path with its fault loop, and
+// small coordination utilities (tokens, per-page transaction locks).
+//
+// Concurrency architecture (see DESIGN.md §4.2):
+//
+//   - One dispatch goroutine per node reads the endpoint. Replies are
+//     routed synchronously to waiting callers; requests are handled
+//     each on their own goroutine, so a handler that performs nested
+//     RPC (a manager forwarding, a home node propagating) never
+//     blocks the dispatch loop.
+//   - Fault transactions hold a per-page latch (local accesses wait)
+//     but not the page mutex, so remote invalidations stay servable.
+//   - Engines serialize conflicting transactions per page at the
+//     page's manager/owner using TxLocks, and end each data-granting
+//     transaction only after the requester confirms installation
+//     (token mechanism), which closes grant/invalidate reordering
+//     races.
+package nodecore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/mem"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Engine is a DSM consistency/coherence protocol engine. Exactly one
+// engine is attached to each node's runtime. ReadFault and WriteFault
+// are invoked on the faulting application goroutine with the page's
+// fault latch held but the page mutex not held; the engine re-locks
+// the page to install the result.
+type Engine interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Register installs the engine's message handlers. Called once
+	// before the dispatch loop starts.
+	Register(rt *Runtime)
+	// Init sets initial page states (ownership, protection). Called
+	// on every node after all runtimes are started, before the
+	// application runs.
+	Init()
+	// ReadFault makes the page readable locally.
+	ReadFault(page mem.PageID) error
+	// WriteFault makes the page writable locally.
+	WriteFault(page mem.PageID) error
+}
+
+// DirectEngine is implemented by engines that service some accesses
+// remotely without installing a local mapping (the central-server
+// algorithm class). A (true, err) return means the access was fully
+// handled; (false, _) falls through to the paged fault path.
+type DirectEngine interface {
+	DirectRead(addr int64, buf []byte) (bool, error)
+	DirectWrite(addr int64, buf []byte) (bool, error)
+}
+
+// Runtime is the per-node core shared by all engines.
+type Runtime struct {
+	id  simnet.NodeID
+	n   int
+	ep  *simnet.Endpoint
+	tbl *mem.Table
+	st  *stats.Node
+
+	engine    Engine
+	direct    DirectEngine // non-nil iff engine implements DirectEngine
+	collector *advisor.Collector
+	handlers  []func(*wire.Msg)
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan *wire.Msg
+	reqSeq  uint64
+
+	callTimeout time.Duration
+	done        chan struct{}
+	closeOnce   sync.Once
+	dispatchWG  sync.WaitGroup
+	handlerWG   sync.WaitGroup
+
+	strayReplies int64 // diagnostic; benign in broadcast mode
+	strayMu      sync.Mutex
+}
+
+// New builds a runtime for node id of an n-node cluster.
+func New(id simnet.NodeID, n int, ep *simnet.Endpoint, tbl *mem.Table, st *stats.Node) *Runtime {
+	ep.SetStats(st)
+	return &Runtime{
+		id:          id,
+		n:           n,
+		ep:          ep,
+		tbl:         tbl,
+		st:          st,
+		handlers:    make([]func(*wire.Msg), wire.NumKinds()),
+		pending:     make(map[uint64]chan *wire.Msg),
+		callTimeout: 30 * time.Second,
+		done:        make(chan struct{}),
+	}
+}
+
+// ID returns this node's id.
+func (r *Runtime) ID() simnet.NodeID { return r.id }
+
+// N returns the cluster size.
+func (r *Runtime) N() int { return r.n }
+
+// Table returns the node's page table.
+func (r *Runtime) Table() *mem.Table { return r.tbl }
+
+// Stats returns the node's counter set.
+func (r *Runtime) Stats() *stats.Node { return r.st }
+
+// SetCallTimeout overrides the default RPC timeout (30s).
+func (r *Runtime) SetCallTimeout(d time.Duration) { r.callTimeout = d }
+
+// SetAccessCollector attaches a sharing-pattern collector; every
+// shared-memory access is then recorded per (page, node).
+func (r *Runtime) SetAccessCollector(c *advisor.Collector) { r.collector = c }
+
+// SetEngine attaches the protocol engine and installs its handlers.
+func (r *Runtime) SetEngine(e Engine) {
+	r.engine = e
+	if de, ok := e.(DirectEngine); ok {
+		r.direct = de
+	}
+	e.Register(r)
+}
+
+// Engine returns the attached engine.
+func (r *Runtime) Engine() Engine { return r.engine }
+
+// Handle installs fn as the handler for request kind k. Handlers run
+// on their own goroutines and may perform nested Calls.
+func (r *Runtime) Handle(k wire.Kind, fn func(*wire.Msg)) {
+	if k.IsReply() {
+		panic(fmt.Sprintf("nodecore: Handle(%v): reply kinds are routed, not handled", k))
+	}
+	if r.handlers[k] != nil {
+		panic(fmt.Sprintf("nodecore: Handle(%v): handler already installed", k))
+	}
+	r.handlers[k] = fn
+}
+
+// Start launches the dispatch loop.
+func (r *Runtime) Start() {
+	r.dispatchWG.Add(1)
+	go r.dispatch()
+}
+
+// Close cancels pending calls and waits for the dispatch loop (the
+// network must be closed first so the receive channel ends).
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+	r.dispatchWG.Wait()
+	r.handlerWG.Wait()
+}
+
+func (r *Runtime) dispatch() {
+	defer r.dispatchWG.Done()
+	for m := range r.ep.Recv() {
+		if m.Kind.IsReply() {
+			r.pendMu.Lock()
+			ch, ok := r.pending[m.Req]
+			if ok {
+				delete(r.pending, m.Req)
+			}
+			r.pendMu.Unlock()
+			if ok {
+				ch <- m // buffered, never blocks
+			} else {
+				r.strayMu.Lock()
+				r.strayReplies++
+				r.strayMu.Unlock()
+			}
+			continue
+		}
+		h := r.handlers[m.Kind]
+		if h == nil {
+			panic(fmt.Sprintf("nodecore: node %d: no handler for %v (engine %s)", r.id, m.Kind, r.engine.Name()))
+		}
+		r.handlerWG.Add(1)
+		go func(m *wire.Msg) {
+			defer r.handlerWG.Done()
+			h(m)
+		}(m)
+	}
+}
+
+// StrayReplies reports replies that arrived after their caller gave
+// up (possible with broadcast-mode retries); useful in tests.
+func (r *Runtime) StrayReplies() int64 {
+	r.strayMu.Lock()
+	defer r.strayMu.Unlock()
+	return r.strayReplies
+}
+
+// NewReq allocates a globally unique request id.
+func (r *Runtime) NewReq() uint64 {
+	r.pendMu.Lock()
+	r.reqSeq++
+	id := uint64(r.id+1)<<40 | r.reqSeq
+	r.pendMu.Unlock()
+	return id
+}
+
+// register creates the reply slot for req.
+func (r *Runtime) register(req uint64) chan *wire.Msg {
+	ch := make(chan *wire.Msg, 1)
+	r.pendMu.Lock()
+	r.pending[req] = ch
+	r.pendMu.Unlock()
+	return ch
+}
+
+func (r *Runtime) unregister(req uint64) {
+	r.pendMu.Lock()
+	delete(r.pending, req)
+	r.pendMu.Unlock()
+}
+
+// Send stamps the message with this node as origin and transmits it.
+func (r *Runtime) Send(m *wire.Msg) error {
+	m.From = r.id
+	return r.ep.Send(m)
+}
+
+// Forward retransmits m to a new destination, preserving the
+// original From and Req so the eventual replier answers the origin
+// directly. Used by manager relays and probable-owner chains.
+func (r *Runtime) Forward(m *wire.Msg, to simnet.NodeID) error {
+	fwd := *m
+	fwd.To = to
+	r.st.Forwards.Add(1)
+	return r.ep.Send(&fwd)
+}
+
+// Call sends a request and waits for its reply (or timeout/shutdown).
+func (r *Runtime) Call(m *wire.Msg) (*wire.Msg, error) {
+	return r.CallT(m, r.callTimeout)
+}
+
+// CallT is Call with an explicit timeout.
+func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
+	m.Req = r.NewReq()
+	ch := r.register(m.Req)
+	if err := r.Send(m); err != nil {
+		r.unregister(m.Req)
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-timer.C:
+		r.unregister(m.Req)
+		return nil, fmt.Errorf("nodecore: node %d: %v to %d (page %d, lock %d) timed out after %v",
+			r.id, m.Kind, m.To, m.Page, m.Lock, timeout)
+	case <-r.done:
+		r.unregister(m.Req)
+		return nil, fmt.Errorf("nodecore: node %d: shutdown while waiting for %v reply", r.id, m.Kind)
+	}
+}
+
+// Reply answers a request: it copies the request id and addresses the
+// originator.
+func (r *Runtime) Reply(req *wire.Msg, reply *wire.Msg) error {
+	if !reply.Kind.IsReply() {
+		panic(fmt.Sprintf("nodecore: Reply with non-reply kind %v", reply.Kind))
+	}
+	reply.To = req.From
+	reply.Req = req.Req
+	return r.Send(reply)
+}
+
+// Ack sends a bare KAck reply to a request.
+func (r *Runtime) Ack(req *wire.Msg) error {
+	return r.Reply(req, &wire.Msg{Kind: wire.KAck})
+}
+
+// NewToken allocates a wait token: the local side blocks in
+// AwaitToken while a remote side releases it by sending any reply
+// kind carrying the token as Req (conventionally KConfirm... which is
+// KAck addressed with the token). Tokens implement the
+// requester-confirmation step that ends page transactions.
+func (r *Runtime) NewToken() (uint64, chan *wire.Msg) {
+	tok := r.NewReq()
+	return tok, r.register(tok)
+}
+
+// AwaitToken blocks until the token is released or timeout.
+func (r *Runtime) AwaitToken(tok uint64, ch chan *wire.Msg, timeout time.Duration) error {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-timer.C:
+		r.unregister(tok)
+		return fmt.Errorf("nodecore: node %d: token %x confirmation timed out after %v", r.id, tok, timeout)
+	case <-r.done:
+		r.unregister(tok)
+		return fmt.Errorf("nodecore: node %d: shutdown while awaiting token", r.id)
+	}
+}
+
+// ReleaseToken notifies a remote waiter: an ack addressed by token.
+func (r *Runtime) ReleaseToken(to simnet.NodeID, tok uint64) error {
+	return r.Send(&wire.Msg{Kind: wire.KAck, To: to, Req: tok})
+}
+
+// CallTimeout returns the configured RPC timeout.
+func (r *Runtime) CallTimeout() time.Duration { return r.callTimeout }
+
+// Done returns a channel closed at shutdown.
+func (r *Runtime) Done() <-chan struct{} { return r.done }

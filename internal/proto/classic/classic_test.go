@@ -1,0 +1,155 @@
+package classic_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newCluster(t *testing.T, proto core.Protocol, nodes int) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		Nodes:     nodes,
+		Protocol:  proto,
+		PageSize:  256,
+		HeapBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestCentralServerBasics: remote reads and writes hit the page's
+// server; local ones don't; no page ever faults.
+func TestCentralServerBasics(t *testing.T) {
+	c := newCluster(t, core.CentralServer, 3)
+	// Page 0 is served by node 0; page 1 by node 1.
+	p0 := int64(0)
+	p1 := int64(256)
+	if err := c.Node(2).WriteUint64(p0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Node(0).WriteUint64(p1, 6); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Node(1).ReadUint64(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 5 {
+		t.Fatalf("read %d", v)
+	}
+	v, err = c.Node(1).ReadUint64(p1) // node 1 is the server: local
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Fatalf("read %d", v)
+	}
+	s := c.TotalStats()
+	if s.Faults() != 0 {
+		t.Fatalf("central server faulted %d times", s.Faults())
+	}
+	if s.DirectWrites != 2 || s.DirectReads != 1 {
+		t.Fatalf("direct ops = %d writes, %d reads; want 2, 1", s.DirectWrites, s.DirectReads)
+	}
+}
+
+// TestCentralServerCrossPage: an access spanning two pages on two
+// different servers must still be correct.
+func TestCentralServerCrossPage(t *testing.T) {
+	c := newCluster(t, core.CentralServer, 3)
+	addr := int64(250) // spans pages 0 and 1
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	if err := c.Node(2).WriteAt(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := c.Node(1).ReadAt(addr, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+}
+
+// TestFullReplicationReadsAreLocal: after the initial state, reads
+// send no messages; writes update every replica.
+func TestFullReplicationReadsAreLocal(t *testing.T) {
+	c := newCluster(t, core.FullReplication, 4)
+	addr := int64(0)
+	if err := c.Node(3).WriteUint64(addr, 17); err != nil {
+		t.Fatal(err)
+	}
+	before := c.TotalStats().MsgsSent
+	for i := 0; i < 4; i++ {
+		v, err := c.Node(i).ReadUint64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 17 {
+			t.Fatalf("node %d read %d", i, v)
+		}
+	}
+	if after := c.TotalStats().MsgsSent; after != before {
+		t.Fatalf("reads sent %d messages; replication makes reads local", after-before)
+	}
+	if up := c.TotalStats().UpdatesApplied; up < 3 {
+		t.Fatalf("updates applied = %d; every other replica must be patched", up)
+	}
+}
+
+// TestFullReplicationWriteOrder: writes to one word from many nodes
+// are sequenced; the final value is one of the written values and
+// all replicas agree.
+func TestFullReplicationWriteOrder(t *testing.T) {
+	c := newCluster(t, core.FullReplication, 4)
+	addr := int64(0)
+	err := c.Run(func(n *core.Node) error {
+		for i := 0; i < 10; i++ {
+			if err := n.WriteUint64(addr, uint64(n.ID()*100+i)); err != nil {
+				return err
+			}
+		}
+		return n.Barrier(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Node(0).ReadUint64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		got, err := c.Node(i).ReadUint64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("replicas diverge: node %d has %d, node 0 has %d", i, got, want)
+		}
+	}
+}
+
+// TestFullReplicationReadYourWrite: a writer that gets its ack must
+// see its own value locally.
+func TestFullReplicationReadYourWrite(t *testing.T) {
+	c := newCluster(t, core.FullReplication, 3)
+	n2 := c.Node(2)
+	for i := 0; i < 20; i++ {
+		if err := n2.WriteUint64(8, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		v, err := n2.ReadUint64(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != uint64(i) {
+			t.Fatalf("read-your-write violated: wrote %d, read %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package ec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Diff-grant mode (Midway ships fine-grained updates rather than
+// whole objects; this is the equivalent at byte-range granularity).
+//
+// Each exclusive holder snapshots the bound ranges at acquire and, at
+// release, records a diff of what it changed, tagged with the new
+// version. The diff log *travels with the lock*: a grant to an
+// acquirer at version u carries the retained log suffix — the
+// acquirer applies the (u, cur] part and keeps the whole suffix so it
+// can serve later, more out-of-date acquirers. When the log no longer
+// reaches back to the acquirer's version, the grant falls back to a
+// full copy of the bound ranges. The log is pruned to maxLogVersions.
+
+const maxLogVersions = 16
+
+// Grant payload mode tags.
+const (
+	grantEmpty byte = iota // acquirer is current: version only
+	grantFull              // full contents of every bound range
+	grantDiffs             // version-tagged diff log suffix
+)
+
+// verDiff is one version's change to the concatenated bound ranges.
+type verDiff struct {
+	ver  uint64
+	diff []byte
+}
+
+// lockLog is the per-lock diff state at the current/last holder.
+type lockLog struct {
+	snap []byte    // bound-range contents as of the version we acquired
+	log  []verDiff // contiguous versions ending at ver[lock]
+}
+
+// concatRanges reads all bound ranges into one contiguous buffer (the
+// diff domain).
+func (e *Engine) concatRanges(ranges []Range) []byte {
+	total := 0
+	for _, r := range ranges {
+		total += r.Len
+	}
+	buf := make([]byte, total)
+	off := 0
+	for _, r := range ranges {
+		e.readLocal(r.Addr, buf[off:off+r.Len])
+		off += r.Len
+	}
+	return buf
+}
+
+// scatterRanges writes a contiguous buffer back into the bound ranges.
+func (e *Engine) scatterRanges(ranges []Range, buf []byte) {
+	off := 0
+	for _, r := range ranges {
+		e.writeLocal(r.Addr, buf[off:off+r.Len])
+		off += r.Len
+	}
+}
+
+// buildDiffGrant encodes the grant for an acquirer at acqVer given
+// current version cur. Caller holds e.mu.
+func (e *Engine) buildDiffGrant(lock int32, acqVer, cur uint64, ranges []Range) []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, cur)
+	ll := e.logs[lock]
+	if ll != nil && len(ll.log) > 0 && acqVer >= ll.log[0].ver-1 {
+		// The log reaches back far enough: ship the whole retained
+		// suffix (the acquirer keeps it to serve older nodes later)
+		// and tell the acquirer which part to apply.
+		buf = append(buf, grantDiffs)
+		buf = binary.AppendUvarint(buf, uint64(len(ll.log)))
+		for _, d := range ll.log {
+			buf = binary.AppendUvarint(buf, d.ver)
+			buf = binary.AppendUvarint(buf, uint64(len(d.diff)))
+			buf = append(buf, d.diff...)
+		}
+		return buf
+	}
+	// Fall back to a full copy — but still attach the retained log:
+	// (history the full data already includes, so the acquirer applies
+	// none of it): the travelling log must survive full-copy handoffs
+	// or the diff path could never bootstrap.
+	buf = append(buf, grantFull)
+	cur2 := e.concatRanges(ranges)
+	buf = binary.AppendUvarint(buf, uint64(len(cur2)))
+	buf = append(buf, cur2...)
+	var log []verDiff
+	if ll != nil {
+		log = ll.log
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(log)))
+	for _, d := range log {
+		buf = binary.AppendUvarint(buf, d.ver)
+		buf = binary.AppendUvarint(buf, uint64(len(d.diff)))
+		buf = append(buf, d.diff...)
+	}
+	return buf
+}
+
+// applyDiffGrant decodes and installs a diff-mode grant payload.
+// Returns the granted version. Caller holds e.mu.
+func (e *Engine) applyDiffGrant(lock int32, payload []byte, ranges []Range) (uint64, error) {
+	if len(payload) < 9 {
+		if len(payload) >= 8 {
+			return binary.LittleEndian.Uint64(payload), nil // version only
+		}
+		return 0, fmt.Errorf("short grant payload (%d bytes)", len(payload))
+	}
+	ver := binary.LittleEndian.Uint64(payload)
+	mode := payload[8]
+	rest := payload[9:]
+	myVer := e.ver[lock]
+	switch mode {
+	case grantFull:
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest[n:])) < l {
+			return 0, fmt.Errorf("bad full-copy grant")
+		}
+		data := rest[n : n+int(l)]
+		rest = rest[n+int(l):]
+		e.scatterRanges(ranges, data)
+		ll := &lockLog{snap: append([]byte(nil), data...)}
+		// The travelling diff log rides along even on full copies.
+		if len(rest) > 0 {
+			count, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return 0, fmt.Errorf("bad full-copy log count")
+			}
+			rest = rest[n:]
+			for i := uint64(0); i < count; i++ {
+				dv, n := binary.Uvarint(rest)
+				if n <= 0 {
+					return 0, fmt.Errorf("bad log version")
+				}
+				rest = rest[n:]
+				dl, n := binary.Uvarint(rest)
+				if n <= 0 || uint64(len(rest[n:])) < dl {
+					return 0, fmt.Errorf("bad log diff")
+				}
+				ll.log = append(ll.log, verDiff{ver: dv, diff: append([]byte(nil), rest[n:n+int(dl)]...)})
+				rest = rest[n+int(dl):]
+			}
+		}
+		e.logs[lock] = ll
+		e.rt.Stats().UpdatesApplied.Add(1)
+	case grantDiffs:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("bad diff count")
+		}
+		rest = rest[n:]
+		cur := e.concatRanges(ranges)
+		var kept []verDiff
+		for i := uint64(0); i < count; i++ {
+			dv, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return 0, fmt.Errorf("bad diff version")
+			}
+			rest = rest[n:]
+			dl, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest[n:])) < dl {
+				return 0, fmt.Errorf("bad diff length")
+			}
+			diff := append([]byte(nil), rest[n:n+int(dl)]...)
+			rest = rest[n+int(dl):]
+			if dv > myVer {
+				if err := mem.ApplyDiff(cur, diff); err != nil {
+					return 0, fmt.Errorf("applying lock %d diff v%d: %w", lock, dv, err)
+				}
+				e.rt.Stats().UpdatesApplied.Add(1)
+			}
+			kept = append(kept, verDiff{ver: dv, diff: diff})
+		}
+		e.scatterRanges(ranges, cur)
+		e.logs[lock] = &lockLog{snap: cur, log: kept}
+	default:
+		return 0, fmt.Errorf("unknown grant mode %d", mode)
+	}
+	return ver, nil
+}
+
+// recordRelease appends this holder's own diff to the travelling log.
+// Caller holds e.mu; called on exclusive release after the version
+// bump to newVer.
+func (e *Engine) recordRelease(lock int32, newVer uint64, ranges []Range) {
+	ll := e.logs[lock]
+	if ll == nil || ll.snap == nil {
+		// We never installed a snapshot (e.g. we are the very first
+		// holder); start one now so the next release can diff.
+		e.logs[lock] = &lockLog{snap: e.concatRanges(ranges)}
+		return
+	}
+	cur := e.concatRanges(ranges)
+	diff := mem.CreateDiff(ll.snap, cur)
+	e.rt.Stats().DiffsCreated.Add(1)
+	e.rt.Stats().DiffBytes.Add(int64(len(diff)))
+	ll.log = append(ll.log, verDiff{ver: newVer, diff: diff})
+	if len(ll.log) > maxLogVersions {
+		ll.log = ll.log[len(ll.log)-maxLogVersions:]
+	}
+	ll.snap = cur
+}

@@ -1,0 +1,130 @@
+package lrc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// Interval set encoding:
+//
+//	uvarint count
+//	count × { uvarint node, uvarint seq, vclock, uvarint npages,
+//	          npages × uvarint page }
+func encodeIntervals(ivs []*interval) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ivs)))
+	for _, iv := range ivs {
+		buf = binary.AppendUvarint(buf, uint64(iv.node))
+		buf = binary.AppendUvarint(buf, uint64(iv.seq))
+		buf = iv.vc.Encode(buf)
+		buf = binary.AppendUvarint(buf, uint64(len(iv.pages)))
+		for _, pg := range iv.pages {
+			buf = binary.AppendUvarint(buf, uint64(pg))
+		}
+	}
+	return buf
+}
+
+func decodeIntervals(buf []byte) ([]*interval, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad interval count")
+	}
+	buf = buf[n:]
+	out := make([]*interval, 0, count)
+	for i := uint64(0); i < count; i++ {
+		iv := &interval{}
+		node, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad node")
+		}
+		buf = buf[n:]
+		iv.node = int32(node)
+		seq, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad seq")
+		}
+		buf = buf[n:]
+		iv.seq = uint32(seq)
+		var err error
+		iv.vc, buf, err = vclock.Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		npages, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad page count")
+		}
+		buf = buf[n:]
+		iv.pages = make([]mem.PageID, 0, npages)
+		for j := uint64(0); j < npages; j++ {
+			pg, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, fmt.Errorf("bad page id")
+			}
+			buf = buf[n:]
+			iv.pages = append(iv.pages, mem.PageID(pg))
+		}
+		out = append(out, iv)
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(buf))
+	}
+	return out, nil
+}
+
+// seqDiff pairs an interval seq with a page diff.
+type seqDiff struct {
+	seq  uint32
+	diff []byte
+}
+
+// Diff list encoding: uvarint count, count × { uvarint seq,
+// uvarint len, len bytes }.
+func encodeDiffList(ds []seqDiff) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ds)))
+	for _, d := range ds {
+		buf = binary.AppendUvarint(buf, uint64(d.seq))
+		buf = binary.AppendUvarint(buf, uint64(len(d.diff)))
+		buf = append(buf, d.diff...)
+	}
+	return buf
+}
+
+func decodeDiffList(buf []byte) (map[uint32][]byte, error) {
+	out := make(map[uint32][]byte)
+	if len(buf) == 0 {
+		return out, nil
+	}
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad diff count")
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < count; i++ {
+		seq, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad diff seq")
+		}
+		buf = buf[n:]
+		l, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad diff len")
+		}
+		buf = buf[n:]
+		if uint64(len(buf)) < l {
+			return nil, fmt.Errorf("truncated diff: want %d, have %d", l, len(buf))
+		}
+		out[uint32(seq)] = buf[:l]
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(buf))
+	}
+	return out, nil
+}

@@ -1,0 +1,569 @@
+// Package lrc implements lazy release consistency (Keleher, Cox &
+// Zwaenepoel, ISCA 1992), the TreadMarks protocol:
+//
+//   - Each node keeps a vector clock; the span between two local
+//     synchronization operations is an *interval*. Closing an
+//     interval (at a release or barrier arrival) records a diff of
+//     every page written in it and a *write notice* naming the pages.
+//   - A lock grant carries exactly the write notices the acquirer has
+//     not seen (vector-clock comparison); the acquirer invalidates
+//     the noticed pages. No data moves at synchronization time.
+//   - A fault on an invalidated page fetches the missing diffs from
+//     their writers and applies them in a happens-before-consistent
+//     order. Concurrent intervals write disjoint bytes (data-race
+//     freedom), so their order is irrelevant; ordered intervals are
+//     applied in causal order (sum of vector-clock components is a
+//     valid linear extension of happens-before).
+//   - Barriers make everyone's new intervals globally known.
+//
+// Compared with eager RC (package erc), synchronization is cheap and
+// data moves at most once, to nodes that actually touch it —
+// experiment E7 reproduces that message-count gap.
+//
+// Deviation from TreadMarks noted in DESIGN.md: diffs are created
+// when an interval closes rather than on first request; propagation
+// (the expensive part) is identical. By default interval and diff
+// logs are kept for the cluster lifetime; the optional barrier-time
+// garbage collection (New's barrierGC, core.Config.LRCBarrierGC)
+// bounds diff memory for long-running barrier programs, and the
+// home-based variant (NewHomeBased) retains no diffs at all.
+package lrc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dsync"
+	"repro/internal/mem"
+	"repro/internal/nodecore"
+	"repro/internal/simnet"
+	"repro/internal/vclock"
+	"repro/internal/wire"
+)
+
+// interval is one closed write interval of some node.
+type interval struct {
+	node  int32
+	seq   uint32 // 1-based per node
+	vc    vclock.VC
+	pages []mem.PageID
+}
+
+// noticeRef identifies a write notice pending application to a page.
+type noticeRef struct {
+	node int32
+	seq  uint32
+}
+
+// Engine is the per-node LRC protocol instance. With homeBased set
+// it implements home-based LRC (HLRC, Zhou/Iftode/Li): interval and
+// write-notice machinery are identical, but every interval's diffs
+// are flushed to each page's statically assigned home at interval
+// close, and an invalid page is revalidated with a single whole-page
+// fetch from its home instead of per-writer diff fetches. Causality
+// makes the home always sufficient: a write notice for (j, s) can
+// only reach this node after writer j's release, and j flushed to
+// the home before releasing. HLRC trades the homeless protocol's
+// minimal data movement for bounded memory (no diff retention) and
+// one-round-trip validation.
+type Engine struct {
+	dsync.NopHooks
+	rt        *nodecore.Runtime
+	gc        bool
+	homeBased bool
+
+	mu          sync.Mutex
+	vc          vclock.VC
+	log         [][]*interval     // log[node][seq-1]
+	myDiffs     map[uint64][]byte // page<<32|seq -> diff (own intervals)
+	missing     map[mem.PageID][]noticeRef
+	lastBarSent uint32 // own-interval seq already distributed via a barrier
+	lastBarPrev uint32 // own-interval seq distributed at the barrier before that
+}
+
+// New creates the engine for one node.
+//
+// With barrierGC enabled, every barrier release eagerly validates all
+// locally pending write notices and then discards own diffs that were
+// distributed at the previous barrier — by then every node has
+// validated them, so no request for them can ever arrive. This bounds
+// the diff cache for long-running barrier-synchronized programs (the
+// role garbage collection plays in TreadMarks) at the cost of making
+// barriers less lazy; it is off by default and measured as an
+// ablation.
+func New(rt *nodecore.Runtime, barrierGC bool) *Engine {
+	return &Engine{
+		rt:      rt,
+		gc:      barrierGC,
+		vc:      vclock.New(rt.N()),
+		log:     make([][]*interval, rt.N()),
+		myDiffs: make(map[uint64][]byte),
+		missing: make(map[mem.PageID][]noticeRef),
+	}
+}
+
+// NewHomeBased creates the HLRC variant (see Engine).
+func NewHomeBased(rt *nodecore.Runtime) *Engine {
+	e := New(rt, false)
+	e.homeBased = true
+	return e
+}
+
+func (e *Engine) homeOf(pg mem.PageID) simnet.NodeID {
+	return simnet.NodeID(int(pg) % e.rt.N())
+}
+
+// DiffCacheSize reports the number of retained own-interval diffs,
+// for tests and tooling.
+func (e *Engine) DiffCacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.myDiffs)
+}
+
+// Name implements nodecore.Engine.
+func (e *Engine) Name() string {
+	if e.homeBased {
+		return "hlrc"
+	}
+	return "lrc"
+}
+
+// Register implements nodecore.Engine.
+func (e *Engine) Register(rt *nodecore.Runtime) {
+	rt.Handle(wire.KDiffReq, e.handleDiffReq)
+	if e.homeBased {
+		rt.Handle(wire.KErcFlush, e.handleHomeFlush)
+		rt.Handle(wire.KPageReq, e.handleHomePageReq)
+	}
+}
+
+// Init implements nodecore.Engine: every replica starts valid
+// (zeros) and read-only; there is no owner or home.
+func (e *Engine) Init() {
+	tbl := e.rt.Table()
+	for i := 0; i < tbl.NumPages(); i++ {
+		p := tbl.Page(mem.PageID(i))
+		p.Lock()
+		p.SetProt(mem.ReadOnly)
+		p.Unlock()
+	}
+}
+
+func diffKey(pg mem.PageID, seq uint32) uint64 { return uint64(uint32(pg))<<32 | uint64(seq) }
+
+// ---------------------------------------------------------------
+// Fault side
+// ---------------------------------------------------------------
+
+// ReadFault implements nodecore.Engine: fetch and apply the diffs of
+// every pending write notice for the page.
+func (e *Engine) ReadFault(pg mem.PageID) error { return e.validate(pg) }
+
+// WriteFault implements nodecore.Engine: validate if needed, then
+// twin and write locally.
+func (e *Engine) WriteFault(pg mem.PageID) error {
+	p := e.rt.Table().Page(pg)
+	p.Lock()
+	valid := p.Prot() >= mem.ReadOnly
+	p.Unlock()
+	if !valid {
+		if err := e.validate(pg); err != nil {
+			return err
+		}
+	}
+	p.Lock()
+	if p.MakeTwin() {
+		e.rt.Stats().TwinCopies.Add(1)
+	}
+	p.SetProt(mem.ReadWrite)
+	p.Unlock()
+	return nil
+}
+
+// validate brings a page up to date with all locally known write
+// notices. All notice insertion happens on this same application
+// goroutine (sync hooks), so the pending set cannot grow
+// concurrently.
+func (e *Engine) validate(pg mem.PageID) error {
+	if e.homeBased {
+		return e.validateFromHome(pg)
+	}
+	e.mu.Lock()
+	refs := e.missing[pg]
+	delete(e.missing, pg)
+	type job struct {
+		node int32
+		seq  uint32
+		vc   vclock.VC
+	}
+	jobs := make([]job, 0, len(refs))
+	for _, r := range refs {
+		iv := e.log[r.node][r.seq-1]
+		jobs = append(jobs, job{r.node, r.seq, iv.vc})
+	}
+	e.mu.Unlock()
+
+	// Group by writer; fetch each writer's diffs for this page in one
+	// round trip.
+	byNode := make(map[int32][]job)
+	for _, j := range jobs {
+		byNode[j.node] = append(byNode[j.node], j)
+	}
+	type fetched struct {
+		job  job
+		diff []byte
+	}
+	var got []fetched
+	var gotMu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(byNode))
+	for node, js := range byNode {
+		lo, hi := js[0].seq, js[0].seq
+		for _, j := range js {
+			if j.seq < lo {
+				lo = j.seq
+			}
+			if j.seq > hi {
+				hi = j.seq
+			}
+		}
+		wg.Add(1)
+		go func(node int32, js []job, lo, hi uint32) {
+			defer wg.Done()
+			e.rt.Stats().DiffFetches.Add(1)
+			reply, err := e.rt.Call(&wire.Msg{
+				Kind: wire.KDiffReq,
+				To:   simnet.NodeID(node),
+				Page: pg,
+				Arg:  uint64(lo),
+				B:    uint64(hi),
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			diffs, err := decodeDiffList(reply.Data)
+			if err != nil {
+				errCh <- fmt.Errorf("lrc: node %d: diff reply from %d: %w", e.rt.ID(), node, err)
+				return
+			}
+			gotMu.Lock()
+			defer gotMu.Unlock()
+			for _, j := range js {
+				d, ok := diffs[j.seq]
+				if !ok {
+					errCh <- fmt.Errorf("lrc: node %d: writer %d did not return diff for page %d interval %d",
+						e.rt.ID(), node, pg, j.seq)
+					return
+				}
+				got = append(got, fetched{j, d})
+			}
+		}(node, js, lo, hi)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		// Restore the refs so a retry can still see them.
+		e.mu.Lock()
+		e.missing[pg] = append(refs, e.missing[pg]...)
+		e.mu.Unlock()
+		return err
+	default:
+	}
+
+	// Apply in a linear extension of happens-before: the sum of
+	// vector-clock components is monotone along causal edges.
+	sort.Slice(got, func(a, b int) bool {
+		sa, sb := vcSum(got[a].job.vc), vcSum(got[b].job.vc)
+		if sa != sb {
+			return sa < sb
+		}
+		if got[a].job.node != got[b].job.node {
+			return got[a].job.node < got[b].job.node
+		}
+		return got[a].job.seq < got[b].job.seq
+	})
+
+	p := e.rt.Table().Page(pg)
+	p.Lock()
+	for _, f := range got {
+		if err := p.ApplyDiffLocked(f.diff, true); err != nil {
+			p.Unlock()
+			return fmt.Errorf("lrc: node %d: applying diff (%d,%d): %w", e.rt.ID(), f.job.node, f.job.seq, err)
+		}
+		e.rt.Stats().UpdatesApplied.Add(1)
+	}
+	if p.Prot() == mem.Invalid {
+		p.SetProt(mem.ReadOnly)
+	}
+	p.Unlock()
+	return nil
+}
+
+func vcSum(v vclock.VC) uint64 {
+	var s uint64
+	for _, c := range v {
+		s += uint64(c)
+	}
+	return s
+}
+
+// ---------------------------------------------------------------
+// Interval machinery
+// ---------------------------------------------------------------
+
+// closeInterval ends the current write interval if any page was
+// written: it ticks the vector clock, records per-page diffs, and
+// appends the interval (with its write notices) to the local log.
+func (e *Engine) closeInterval() {
+	tbl := e.rt.Table()
+	type dirtyPage struct {
+		pg   mem.PageID
+		diff []byte
+	}
+	var dirty []dirtyPage
+	for i := 0; i < tbl.NumPages(); i++ {
+		pg := mem.PageID(i)
+		p := tbl.Page(pg)
+		p.Lock()
+		if p.Dirty() && p.HasTwin() {
+			diff := p.DiffAgainstTwin()
+			if len(diff) > 0 {
+				dirty = append(dirty, dirtyPage{pg, diff})
+				e.rt.Stats().DiffsCreated.Add(1)
+				e.rt.Stats().DiffBytes.Add(int64(len(diff)))
+			}
+			p.RefreshTwin()
+		}
+		p.Unlock()
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	if e.homeBased {
+		// HLRC: push every diff to its page's home before the release
+		// or barrier proceeds; no diffs are retained locally.
+		var wg sync.WaitGroup
+		for _, d := range dirty {
+			home := e.homeOf(d.pg)
+			if home == e.rt.ID() {
+				continue // our copy is the home copy; already applied
+			}
+			wg.Add(1)
+			go func(pg mem.PageID, diff []byte) {
+				defer wg.Done()
+				_, _ = e.rt.Call(&wire.Msg{Kind: wire.KErcFlush, To: e.homeOf(pg), Page: pg, Data: diff})
+			}(d.pg, d.diff)
+		}
+		wg.Wait()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	me := int(e.rt.ID())
+	seq := e.vc.Tick(me)
+	iv := &interval{node: e.rt.ID(), seq: seq, vc: e.vc.Copy()}
+	for _, d := range dirty {
+		iv.pages = append(iv.pages, d.pg)
+		if !e.homeBased {
+			e.myDiffs[diffKey(d.pg, seq)] = d.diff
+		}
+	}
+	e.log[me] = append(e.log[me], iv)
+	if uint32(len(e.log[me])) != seq {
+		panic(fmt.Sprintf("lrc: node %d: interval log out of sync: len %d, seq %d", me, len(e.log[me]), seq))
+	}
+}
+
+// insert adds a remote interval to the log if unknown, invalidating
+// its pages and queueing their write notices. Caller holds e.mu.
+func (e *Engine) insert(iv *interval) {
+	node := int(iv.node)
+	if iv.node == e.rt.ID() {
+		return // our own intervals are always known
+	}
+	have := uint32(len(e.log[node]))
+	if iv.seq <= have {
+		return // duplicate
+	}
+	if iv.seq != have+1 {
+		panic(fmt.Sprintf("lrc: node %d: non-contiguous interval (%d,%d): have %d",
+			e.rt.ID(), iv.node, iv.seq, have))
+	}
+	e.log[node] = append(e.log[node], iv)
+	e.vc.Merge(iv.vc)
+	for _, pg := range iv.pages {
+		e.rt.Stats().WriteNotices.Add(1)
+		if e.homeBased && e.homeOf(pg) == e.rt.ID() {
+			// The home already holds the flushed data (the writer
+			// flushed before releasing), so its copy stays valid.
+			continue
+		}
+		e.missing[pg] = append(e.missing[pg], noticeRef{iv.node, iv.seq})
+		p := e.rt.Table().Page(pg)
+		p.Lock()
+		if p.Prot() != mem.Invalid {
+			p.SetProt(mem.Invalid)
+			e.rt.Stats().Invalidations.Add(1)
+		}
+		p.Unlock()
+	}
+}
+
+// unseenBy collects every known interval the holder of vc lacks, in
+// per-node seq order. Caller holds e.mu.
+func (e *Engine) unseenBy(vc vclock.VC) []*interval {
+	var out []*interval
+	for node := range e.log {
+		from := vc.At(node)
+		for s := from; s < uint32(len(e.log[node])); s++ {
+			out = append(out, e.log[node][s])
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------
+// Synchronization hooks
+// ---------------------------------------------------------------
+
+// AcquirePayload implements dsync.Hooks: send our vector clock so
+// the granter can compute exactly the unseen intervals.
+func (e *Engine) AcquirePayload(int32) []byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.vc.Encode(nil)
+}
+
+// GrantPayload implements dsync.Hooks: ship the write notices of
+// every interval the acquirer has not seen.
+func (e *Engine) GrantPayload(_ int32, _ simnet.NodeID, _ dsync.Mode, reqPayload []byte) []byte {
+	acqVC, _, err := vclock.Decode(reqPayload)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: node %d: bad acquire payload: %v", e.rt.ID(), err))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return encodeIntervals(e.unseenBy(acqVC))
+}
+
+// OnGranted implements dsync.Hooks: insert the received notices.
+func (e *Engine) OnGranted(_ int32, _ dsync.Mode, payload []byte) {
+	ivs, err := decodeIntervals(payload)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: node %d: bad grant payload: %v", e.rt.ID(), err))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, iv := range ivs {
+		e.insert(iv)
+	}
+}
+
+// OnRelease implements dsync.Hooks: close the current interval. No
+// data or notices move — that is the laziness.
+func (e *Engine) OnRelease(int32) { e.closeInterval() }
+
+// OnEventSet implements dsync.Hooks: firing an event is a release —
+// the waiters' grants will carry the closed interval's notices.
+func (e *Engine) OnEventSet(int32) { e.closeInterval() }
+
+// BarrierArrive implements dsync.Hooks: close the interval and send
+// our own not-yet-broadcast intervals to the barrier manager.
+func (e *Engine) BarrierArrive(int32) []byte {
+	e.closeInterval()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	me := int(e.rt.ID())
+	var own []*interval
+	for s := e.lastBarSent; s < uint32(len(e.log[me])); s++ {
+		own = append(own, e.log[me][s])
+	}
+	e.lastBarSent = uint32(len(e.log[me]))
+	return encodeIntervals(own)
+}
+
+// BarrierMerge implements dsync.Hooks: concatenate interval sets
+// (associative; duplicates are dropped at insert time).
+func (e *Engine) BarrierMerge(_ int32, payloads [][]byte) []byte {
+	var all []*interval
+	for _, p := range payloads {
+		ivs, err := decodeIntervals(p)
+		if err != nil {
+			panic(fmt.Sprintf("lrc: node %d: bad barrier payload: %v", e.rt.ID(), err))
+		}
+		all = append(all, ivs...)
+	}
+	// Keep per-node seq order so receivers can insert contiguously.
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].node != all[b].node {
+			return all[a].node < all[b].node
+		}
+		return all[a].seq < all[b].seq
+	})
+	return encodeIntervals(all)
+}
+
+// OnBarrierRelease implements dsync.Hooks: everyone learns
+// everything produced before the barrier. With barrier GC on, all
+// pending notices are validated eagerly and diffs that every node
+// validated by the previous barrier are discarded.
+func (e *Engine) OnBarrierRelease(_ int32, payload []byte) {
+	ivs, err := decodeIntervals(payload)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: node %d: bad barrier release payload: %v", e.rt.ID(), err))
+	}
+	e.mu.Lock()
+	for _, iv := range ivs {
+		e.insert(iv)
+	}
+	if !e.gc {
+		e.mu.Unlock()
+		return
+	}
+	var pages []mem.PageID
+	for pg := range e.missing {
+		pages = append(pages, pg)
+	}
+	safe := e.lastBarPrev
+	e.lastBarPrev = e.lastBarSent
+	e.mu.Unlock()
+
+	// Eager validation: after this, no pending notice on this node
+	// refers to any interval distributed at this or earlier barriers.
+	for _, pg := range pages {
+		if err := e.validate(pg); err != nil {
+			panic(fmt.Sprintf("lrc: node %d: barrier validation of page %d: %v", e.rt.ID(), pg, err))
+		}
+	}
+	// Discard own diffs everyone has validated by now: intervals
+	// distributed at the previous barrier were validated during its
+	// release, which completed before anyone arrived at this one.
+	e.mu.Lock()
+	for key := range e.myDiffs {
+		if uint32(key) <= safe {
+			delete(e.myDiffs, key)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------
+// Diff service
+// ---------------------------------------------------------------
+
+// handleDiffReq serves our own interval diffs for one page across a
+// seq range.
+func (e *Engine) handleDiffReq(m *wire.Msg) {
+	e.mu.Lock()
+	me := int(e.rt.ID())
+	var out []seqDiff
+	for s := uint32(m.Arg); s <= uint32(m.B) && s <= uint32(len(e.log[me])); s++ {
+		if d, ok := e.myDiffs[diffKey(m.Page, s)]; ok {
+			out = append(out, seqDiff{seq: s, diff: d})
+		}
+	}
+	e.mu.Unlock()
+	_ = e.rt.Reply(m, &wire.Msg{Kind: wire.KDiffReply, Page: m.Page, Data: encodeDiffList(out)})
+}

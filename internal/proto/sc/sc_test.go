@@ -1,0 +1,313 @@
+package sc_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newCluster(t *testing.T, proto core.Protocol, nodes int) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{
+		Nodes:     nodes,
+		Protocol:  proto,
+		PageSize:  256,
+		HeapBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func scVariants() []core.Protocol {
+	return []core.Protocol{core.SCCentral, core.SCFixed, core.SCDynamic, core.SCBroadcast}
+}
+
+// TestOwnershipTransfer: a value written by one node is read by
+// another, then overwritten by a third; each handoff must carry the
+// latest value.
+func TestOwnershipTransfer(t *testing.T) {
+	for _, proto := range scVariants() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, proto, 3)
+			addr := c.MustAlloc(8)
+			steps := []struct {
+				node int
+				v    uint64
+			}{{0, 10}, {1, 20}, {2, 30}, {0, 40}}
+			for _, s := range steps {
+				if err := c.Node(s.node).WriteUint64(addr, s.v); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 3; i++ {
+					got, err := c.Node(i).ReadUint64(addr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != s.v {
+						t.Fatalf("%v: after write %d by node %d, node %d read %d", proto, s.v, s.node, i, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWriteInvalidatesReaders: once several nodes replicate a page
+// for reading, a write must invalidate every replica.
+func TestWriteInvalidatesReaders(t *testing.T) {
+	for _, proto := range scVariants() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			const n = 4
+			c := newCluster(t, proto, n)
+			addr := c.MustAlloc(8)
+			if err := c.Node(0).WriteUint64(addr, 1); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if _, err := c.Node(i).ReadUint64(addr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Node(1).WriteUint64(addr, 2); err != nil {
+				t.Fatal(err)
+			}
+			inv := c.TotalStats().Invalidations
+			if inv < 2 {
+				t.Fatalf("invalidations = %d, want >= 2 (readers beyond writer and owner)", inv)
+			}
+			for i := 0; i < n; i++ {
+				got, err := c.Node(i).ReadUint64(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != 2 {
+					t.Fatalf("node %d read %d after invalidating write", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteUpgradeSkipsData: a node holding a read-only copy that
+// upgrades to write must not be sent the page again.
+func TestWriteUpgradeSkipsData(t *testing.T) {
+	for _, proto := range []core.Protocol{core.SCCentral, core.SCFixed, core.SCDynamic} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, proto, 2)
+			addr := c.MustAlloc(8)
+			if err := c.Node(0).WriteUint64(addr, 7); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Node(1).ReadUint64(addr); err != nil {
+				t.Fatal(err)
+			}
+			before := c.TotalStats().PageTransfers
+			if err := c.Node(1).WriteUint64(addr, 8); err != nil {
+				t.Fatal(err)
+			}
+			after := c.TotalStats().PageTransfers
+			if after != before {
+				t.Fatalf("write upgrade transferred %d pages; copy was already valid", after-before)
+			}
+			got, err := c.Node(0).ReadUint64(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 8 {
+				t.Fatalf("node 0 read %d", got)
+			}
+		})
+	}
+}
+
+// TestMigrationNeverInvalidates: with a single migrating copy there
+// are never replicas to invalidate.
+func TestMigrationNeverInvalidates(t *testing.T) {
+	c := newCluster(t, core.Migrate, 3)
+	addr := c.MustAlloc(8)
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			v, err := c.Node(i).ReadUint64(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Node(i).WriteUint64(addr, v+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := c.Node(0).ReadUint64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("counter = %d, want 15", got)
+	}
+	if inv := c.TotalStats().Invalidations; inv != 0 {
+		t.Fatalf("migration produced %d invalidations", inv)
+	}
+}
+
+// TestCentralManagerCarriesTraffic: under the central locator every
+// fault transaction touches node 0.
+func TestCentralManagerCarriesTraffic(t *testing.T) {
+	c := newCluster(t, core.SCCentral, 4)
+	addr := c.MustAlloc(8 * 64)
+	// Generate faults between nodes 1..3 only.
+	for i := 0; i < 16; i++ {
+		w := 1 + i%3
+		r := 1 + (i+1)%3
+		a := addr + int64(i)*8
+		if err := c.Node(w).WriteUint64(a, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Node(r).ReadUint64(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := c.Stats()
+	if stats[0].MsgsRecv == 0 {
+		t.Fatal("central manager received no traffic")
+	}
+	for i := 1; i < 4; i++ {
+		if stats[0].MsgsRecv < stats[i].MsgsRecv {
+			t.Fatalf("manager recv %d < node %d recv %d", stats[0].MsgsRecv, i, stats[i].MsgsRecv)
+		}
+	}
+}
+
+// TestDynamicForwardingResolves: stale hints are chased through
+// forwarding until the owner is found.
+func TestDynamicForwardingResolves(t *testing.T) {
+	c := newCluster(t, core.SCDynamic, 4)
+	addr := c.MustAlloc(8)
+	// Bounce ownership around so hints go stale everywhere.
+	order := []int{1, 2, 3, 0, 2, 1, 3, 2, 0, 3}
+	for i, node := range order {
+		if err := c.Node(node).WriteUint64(addr, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		got, err := c.Node(i).ReadUint64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(len(order)-1) {
+			t.Fatalf("node %d read %d", i, got)
+		}
+	}
+	if fw := c.TotalStats().Forwards; fw == 0 {
+		t.Log("note: no forwards occurred (hints stayed exact)")
+	}
+}
+
+// TestManyPagesManyNodes drives a pseudo-random access pattern and
+// cross-checks against a sequential model. All accesses are ordered
+// through a host-level mutex, so per-access SC must match exactly.
+func TestManyPagesManyNodes(t *testing.T) {
+	for _, proto := range scVariants() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			const n = 4
+			c := newCluster(t, proto, n)
+			addr := c.MustAlloc(8 * 128)
+			model := make([]uint64, 128)
+			seed := uint64(12345)
+			next := func() uint64 {
+				seed = seed*6364136223846793005 + 1
+				return seed >> 33
+			}
+			for step := 0; step < 400; step++ {
+				node := int(next() % n)
+				slot := int(next() % 128)
+				a := addr + int64(slot)*8
+				if next()%2 == 0 {
+					v := next()
+					if err := c.Node(node).WriteUint64(a, v); err != nil {
+						t.Fatal(err)
+					}
+					model[slot] = v
+				} else {
+					got, err := c.Node(node).ReadUint64(a)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != model[slot] {
+						t.Fatalf("step %d: node %d slot %d = %d, want %d (%s)",
+							step, node, slot, got, model[slot], proto)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLocatorNames(t *testing.T) {
+	want := []string{"sc-central", "sc-fixed", "sc-dynamic", "sc-broadcast"}
+	for i, p := range scVariants() {
+		if got := fmt.Sprint(p); got != want[i] {
+			t.Errorf("variant %d = %q, want %q", i, got, want[i])
+		}
+	}
+}
+
+// TestConcurrentWritersConverge: truly concurrent, unsynchronized
+// writers to one word. Per-access SC guarantees a total order per
+// location: afterwards every node must read the same final value,
+// and it must be one of the written values.
+func TestConcurrentWritersConverge(t *testing.T) {
+	for _, proto := range scVariants() {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, proto, 4)
+			addr := c.MustAlloc(8)
+			written := make(map[uint64]bool)
+			var mu sync.Mutex
+			err := c.Run(func(n *core.Node) error {
+				for i := 0; i < 20; i++ {
+					v := uint64(n.ID()*1000 + i + 1)
+					mu.Lock()
+					written[v] = true
+					mu.Unlock()
+					if err := n.WriteUint64(addr, v); err != nil {
+						return err
+					}
+				}
+				return n.Barrier(0)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := c.Node(0).ReadUint64(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !written[want] {
+				t.Fatalf("final value %d was never written", want)
+			}
+			for i := 1; i < 4; i++ {
+				got, err := c.Node(i).ReadUint64(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("node %d reads %d, node 0 reads %d", i, got, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,335 @@
+// Package simnet provides the message-passing substrate connecting
+// DSM nodes: an in-process network of point-to-point links with
+// per-pair FIFO delivery (like TCP connections between workstations),
+// configurable latency and bandwidth cost, optional delivery jitter
+// for stress testing, and traffic accounting. Every message crosses
+// the wire encoding even though delivery is in-process, so message
+// and byte counts are faithful to a real deployment.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// NodeID identifies a node on the network.
+type NodeID = int32
+
+// Latency computes the delivery delay for a message of the given
+// encoded size from one node to another. Links are full-duplex and
+// pipelined: messages overlap in flight, but arrive in FIFO order
+// per (from, to) pair.
+type Latency func(from, to NodeID, bytes int) time.Duration
+
+// ConstLatency returns a model with a fixed per-message latency plus
+// a per-byte cost (bandwidth). Either may be zero.
+func ConstLatency(perMsg time.Duration, perByte time.Duration) Latency {
+	if perMsg == 0 && perByte == 0 {
+		return nil
+	}
+	return func(_, _ NodeID, bytes int) time.Duration {
+		return perMsg + time.Duration(bytes)*perByte
+	}
+}
+
+// Config configures a network.
+type Config struct {
+	Nodes int
+	// Latency model; nil means zero-latency (still FIFO per pair).
+	Latency Latency
+	// Jitter adds a uniformly random extra delay in [0, Jitter) per
+	// message, deterministically derived from Seed. Jitter preserves
+	// per-pair FIFO order (delays only ever push delivery later).
+	Jitter time.Duration
+	Seed   int64
+	// RecvOccupancy models the serial per-message processing cost at
+	// a receiving endpoint (interrupt/protocol handling on the
+	// network interface): a node receives at most one message per
+	// RecvOccupancy. This is what makes hot spots (central managers,
+	// centralized barriers) saturate in real systems; zero disables
+	// the model.
+	RecvOccupancy time.Duration
+	// InboxDepth bounds each node's incoming queue; senders block
+	// (backpressure) when a receiver falls behind. Default 4096.
+	InboxDepth int
+	// Trace, if non-nil, is invoked synchronously at each delivery.
+	Trace func(m *wire.Msg)
+}
+
+// Net is the simulated network.
+type Net struct {
+	cfg    Config
+	eps    []*Endpoint
+	queues []*dqueue
+	pairs  [][]pairState
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type pairState struct {
+	mu   sync.Mutex
+	last time.Time
+	rng  uint64 // xorshift state for jitter
+}
+
+// New builds a network with n fully connected nodes.
+func New(cfg Config) (*Net, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("simnet: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 4096
+	}
+	n := cfg.Nodes
+	net := &Net{
+		cfg:    cfg,
+		eps:    make([]*Endpoint, n),
+		queues: make([]*dqueue, n),
+		pairs:  make([][]pairState, n),
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		net.pairs[i] = make([]pairState, n)
+		for j := 0; j < n; j++ {
+			// Distinct non-zero xorshift seeds per directed pair.
+			net.pairs[i][j].rng = uint64(cfg.Seed)*2654435761 + uint64(i*n+j)*0x9e3779b97f4a7c15 + 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		ep := &Endpoint{
+			net:   net,
+			id:    NodeID(i),
+			inbox: make(chan *wire.Msg, cfg.InboxDepth),
+		}
+		net.eps[i] = ep
+		q := newDQueue(ep, cfg.Trace)
+		net.queues[i] = q
+		go q.run()
+	}
+	return net, nil
+}
+
+// Endpoint returns node id's endpoint.
+func (n *Net) Endpoint(id NodeID) *Endpoint {
+	return n.eps[id]
+}
+
+// Nodes returns the node count.
+func (n *Net) Nodes() int { return n.cfg.Nodes }
+
+// Close shuts the network down. Messages still in flight are
+// discarded; subsequent sends are dropped. Receive channels are
+// closed once their delivery queues have stopped.
+func (n *Net) Close() {
+	n.closeOnce.Do(func() {
+		close(n.closed)
+		for _, q := range n.queues {
+			q.stop()
+		}
+	})
+}
+
+func (n *Net) isClosed() bool {
+	select {
+	case <-n.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	net   *Net
+	id    NodeID
+	inbox chan *wire.Msg
+	st    *stats.Node
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// SetStats attaches a counter set; nil disables accounting.
+func (e *Endpoint) SetStats(st *stats.Node) { e.st = st }
+
+// Recv returns the channel of delivered messages. It is closed when
+// the network shuts down.
+func (e *Endpoint) Recv() <-chan *wire.Msg { return e.inbox }
+
+// Send transmits m to m.To. The From field is stamped with the
+// sending endpoint unless the caller preserved an origin while
+// forwarding (From already set to a valid node and Kind unchanged) —
+// senders that forward set From deliberately. Self-addressed
+// messages are delivered through the same path with zero latency and
+// are not counted as network traffic.
+func (e *Endpoint) Send(m *wire.Msg) error {
+	if e.net.isClosed() {
+		return fmt.Errorf("simnet: network closed")
+	}
+	to := m.To
+	if to < 0 || int(to) >= e.net.cfg.Nodes {
+		return fmt.Errorf("simnet: send to invalid node %d (cluster of %d)", to, e.net.cfg.Nodes)
+	}
+	raw := m.Encode(make([]byte, 0, m.EncodedSize()))
+	if e.st != nil && to != e.id {
+		e.st.MsgsSent.Add(1)
+		e.st.BytesSent.Add(int64(len(raw)))
+	}
+	var at time.Time
+	pair := &e.net.pairs[e.id][to]
+	pair.mu.Lock()
+	now := time.Now()
+	delay := time.Duration(0)
+	if to != e.id {
+		if lat := e.net.cfg.Latency; lat != nil {
+			delay += lat(e.id, to, len(raw))
+		}
+		if j := e.net.cfg.Jitter; j > 0 {
+			delay += time.Duration(xorshift(&pair.rng) % uint64(j))
+		}
+	}
+	at = now.Add(delay)
+	if at.Before(pair.last) {
+		at = pair.last
+	}
+	pair.last = at
+	pair.mu.Unlock()
+
+	e.net.queues[to].push(at, raw, to == e.id)
+	return nil
+}
+
+func xorshift(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// dqueue is a per-receiver delivery queue: a time-ordered heap
+// drained by one goroutine that sleeps until each message is due,
+// decodes it, and hands it to the endpoint inbox.
+type dqueue struct {
+	ep    *Endpoint
+	trace func(*wire.Msg)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   itemHeap
+	seq     uint64
+	stopped bool
+	freeAt  time.Time // receiver occupancy: next instant a message may complete
+}
+
+type item struct {
+	at   time.Time
+	seq  uint64
+	raw  []byte
+	self bool
+}
+
+func newDQueue(ep *Endpoint, trace func(*wire.Msg)) *dqueue {
+	q := &dqueue{ep: ep, trace: trace}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *dqueue) push(at time.Time, raw []byte, self bool) {
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return
+	}
+	q.seq++
+	heap.Push(&q.items, item{at: at, seq: q.seq, raw: raw, self: self})
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *dqueue) stop() {
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+func (q *dqueue) run() {
+	for {
+		q.mu.Lock()
+		for !q.stopped && q.items.Len() == 0 {
+			q.cond.Wait()
+		}
+		if q.stopped {
+			q.mu.Unlock()
+			close(q.ep.inbox)
+			return
+		}
+		it := q.items[0]
+		due := it.at
+		if occ := q.ep.net.cfg.RecvOccupancy; occ > 0 && !it.self {
+			// The endpoint processes serially: this message completes
+			// one occupancy period after both its arrival and the
+			// endpoint becoming free.
+			if q.freeAt.After(due) {
+				due = q.freeAt
+			}
+			due = due.Add(occ)
+		}
+		now := time.Now()
+		if due.After(now) {
+			// Sleep outside the lock; new earlier items cannot appear
+			// for this pair (per-pair times are monotonic) but can for
+			// other pairs, so re-check after waking.
+			wait := due.Sub(now)
+			q.mu.Unlock()
+			time.Sleep(wait)
+			continue
+		}
+		heap.Pop(&q.items)
+		if q.ep.net.cfg.RecvOccupancy > 0 && !it.self {
+			q.freeAt = due
+		}
+		q.mu.Unlock()
+
+		m, err := wire.Decode(it.raw)
+		if err != nil {
+			// A decode failure is a bug in this repository, not a
+			// runtime condition: the bytes never left the process.
+			panic(fmt.Sprintf("simnet: decode at node %d: %v", q.ep.id, err))
+		}
+		if q.ep.st != nil && !it.self {
+			q.ep.st.MsgsRecv.Add(1)
+			q.ep.st.BytesRecv.Add(int64(len(it.raw)))
+		}
+		if q.trace != nil {
+			q.trace(m)
+		}
+		select {
+		case q.ep.inbox <- m:
+		case <-q.ep.net.closed:
+			// Receiver gone during shutdown; drop. The queue will
+			// observe stopped on the next iteration.
+		}
+	}
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }

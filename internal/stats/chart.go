@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Chart renders simple ASCII line charts for the experiment figures:
+// one row per x value, one column band scaled to the y range, one
+// marker letter per series. It is deliberately plain — the point is
+// regenerating the *shape* of a published figure in a terminal.
+type Chart struct {
+	title  string
+	xlabel string
+	ylabel string
+	series []chartSeries
+	width  int
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	points map[float64]float64
+}
+
+// NewChart creates a chart with the given axis labels.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{title: title, xlabel: xlabel, ylabel: ylabel, width: 56}
+}
+
+// Add appends one point to a named series; series are created on
+// first use and assigned marker letters in order.
+func (c *Chart) Add(series string, x, y float64) {
+	for i := range c.series {
+		if c.series[i].name == series {
+			c.series[i].points[x] = y
+			return
+		}
+	}
+	markers := "ABCDEFGHIJKLMNOP"
+	m := markers[len(c.series)%len(markers)]
+	c.series = append(c.series, chartSeries{
+		name:   series,
+		marker: m,
+		points: map[float64]float64{x: y},
+	})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.title)
+	if len(c.series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Collect the x domain and y range.
+	xsSet := map[float64]bool{}
+	ymax := math.Inf(-1)
+	ymin := 0.0 // charts here are ratios/counts; anchor at zero
+	for _, s := range c.series {
+		for x, y := range s.points {
+			xsSet[x] = true
+			if y > ymax {
+				ymax = y
+			}
+			if y < ymin {
+				ymin = y
+			}
+		}
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	scale := func(y float64) int {
+		pos := int(math.Round((y - ymin) / (ymax - ymin) * float64(c.width-1)))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos >= c.width {
+			pos = c.width - 1
+		}
+		return pos
+	}
+	// Legend.
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "  %c = %s\n", s.marker, s.name)
+	}
+	fmt.Fprintf(&b, "%8s |%s| %s\n", c.xlabel, strings.Repeat("-", c.width), c.ylabel)
+	for _, x := range xs {
+		row := make([]byte, c.width)
+		for i := range row {
+			row[i] = ' '
+		}
+		note := make([]string, 0, len(c.series))
+		for _, s := range c.series {
+			y, ok := s.points[x]
+			if !ok {
+				continue
+			}
+			pos := scale(y)
+			if row[pos] != ' ' {
+				// Collision: keep both visible in the note column.
+				row[pos] = '*'
+			} else {
+				row[pos] = s.marker
+			}
+			note = append(note, fmt.Sprintf("%c=%.2f", s.marker, y))
+		}
+		fmt.Fprintf(&b, "%8.4g |%s| %s\n", x, string(row), strings.Join(note, " "))
+	}
+	fmt.Fprintf(&b, "%8s |%s|\n", "", strings.Repeat("-", c.width))
+	fmt.Fprintf(&b, "%8s  0%s%.4g\n", "", strings.Repeat(" ", c.width-len(fmt.Sprintf("%.4g", ymax))-1), ymax)
+	return b.String()
+}

@@ -1,0 +1,340 @@
+// Package stats collects per-node and cluster-wide counters for the DSM
+// system: shared-memory accesses, page faults, network traffic,
+// protocol actions (invalidations, diffs, write notices), and
+// synchronization waits. Counters are updated with atomics so that
+// application goroutines, protocol handlers, and the network layer can
+// record events concurrently without coordination.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Node holds the event counters for one DSM node. The zero value is
+// ready to use. All fields may be updated concurrently.
+type Node struct {
+	// Shared-memory access counts (successful, after any fault).
+	Reads  atomic.Int64
+	Writes atomic.Int64
+
+	// Software-MMU fault counts.
+	ReadFaults  atomic.Int64
+	WriteFaults atomic.Int64
+
+	// Network traffic as seen by this node's endpoint.
+	MsgsSent  atomic.Int64
+	BytesSent atomic.Int64
+	MsgsRecv  atomic.Int64
+	BytesRecv atomic.Int64
+
+	// Coherence-protocol actions.
+	Invalidations     atomic.Int64 // invalidation requests served by this node
+	Forwards          atomic.Int64 // requests forwarded along owner chains
+	PageTransfers     atomic.Int64 // whole-page payloads sent by this node
+	UpdatesApplied    atomic.Int64 // update/diff payloads applied locally
+	TwinCopies        atomic.Int64 // twins created for multiple-writer protocols
+	DiffsCreated      atomic.Int64 // diffs computed from twins
+	DiffBytes         atomic.Int64 // total encoded diff bytes created
+	DiffFetches       atomic.Int64 // remote diff requests issued
+	WriteNotices      atomic.Int64 // write notices received (LRC)
+	DirectReads       atomic.Int64 // reads served remotely without caching
+	DirectWrites      atomic.Int64 // writes performed remotely without caching
+	GrantPayloadBytes atomic.Int64 // consistency data piggybacked on sync grants
+
+	// Synchronization.
+	LockAcquires  atomic.Int64
+	LockWaitNs    atomic.Int64
+	BarrierWaits  atomic.Int64
+	BarrierWaitNs atomic.Int64
+}
+
+// Snapshot is a plain-value copy of a Node's counters, safe to
+// aggregate and compare.
+type Snapshot struct {
+	Reads, Writes                            int64
+	ReadFaults, WriteFaults                  int64
+	MsgsSent, BytesSent, MsgsRecv, BytesRecv int64
+	Invalidations, Forwards, PageTransfers   int64
+	UpdatesApplied, TwinCopies               int64
+	DiffsCreated, DiffBytes, DiffFetches     int64
+	WriteNotices, DirectReads, DirectWrites  int64
+	GrantPayloadBytes                        int64
+	LockAcquires, LockWaitNs                 int64
+	BarrierWaits, BarrierWaitNs              int64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy of the
+// counters. Individual fields are read atomically; the set of fields
+// is not a single atomic snapshot, which is fine for reporting.
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		Reads:             n.Reads.Load(),
+		Writes:            n.Writes.Load(),
+		ReadFaults:        n.ReadFaults.Load(),
+		WriteFaults:       n.WriteFaults.Load(),
+		MsgsSent:          n.MsgsSent.Load(),
+		BytesSent:         n.BytesSent.Load(),
+		MsgsRecv:          n.MsgsRecv.Load(),
+		BytesRecv:         n.BytesRecv.Load(),
+		Invalidations:     n.Invalidations.Load(),
+		Forwards:          n.Forwards.Load(),
+		PageTransfers:     n.PageTransfers.Load(),
+		UpdatesApplied:    n.UpdatesApplied.Load(),
+		TwinCopies:        n.TwinCopies.Load(),
+		DiffsCreated:      n.DiffsCreated.Load(),
+		DiffBytes:         n.DiffBytes.Load(),
+		DiffFetches:       n.DiffFetches.Load(),
+		WriteNotices:      n.WriteNotices.Load(),
+		DirectReads:       n.DirectReads.Load(),
+		DirectWrites:      n.DirectWrites.Load(),
+		GrantPayloadBytes: n.GrantPayloadBytes.Load(),
+		LockAcquires:      n.LockAcquires.Load(),
+		LockWaitNs:        n.LockWaitNs.Load(),
+		BarrierWaits:      n.BarrierWaits.Load(),
+		BarrierWaitNs:     n.BarrierWaitNs.Load(),
+	}
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	return Snapshot{
+		Reads:             s.Reads + o.Reads,
+		Writes:            s.Writes + o.Writes,
+		ReadFaults:        s.ReadFaults + o.ReadFaults,
+		WriteFaults:       s.WriteFaults + o.WriteFaults,
+		MsgsSent:          s.MsgsSent + o.MsgsSent,
+		BytesSent:         s.BytesSent + o.BytesSent,
+		MsgsRecv:          s.MsgsRecv + o.MsgsRecv,
+		BytesRecv:         s.BytesRecv + o.BytesRecv,
+		Invalidations:     s.Invalidations + o.Invalidations,
+		Forwards:          s.Forwards + o.Forwards,
+		PageTransfers:     s.PageTransfers + o.PageTransfers,
+		UpdatesApplied:    s.UpdatesApplied + o.UpdatesApplied,
+		TwinCopies:        s.TwinCopies + o.TwinCopies,
+		DiffsCreated:      s.DiffsCreated + o.DiffsCreated,
+		DiffBytes:         s.DiffBytes + o.DiffBytes,
+		DiffFetches:       s.DiffFetches + o.DiffFetches,
+		WriteNotices:      s.WriteNotices + o.WriteNotices,
+		DirectReads:       s.DirectReads + o.DirectReads,
+		DirectWrites:      s.DirectWrites + o.DirectWrites,
+		GrantPayloadBytes: s.GrantPayloadBytes + o.GrantPayloadBytes,
+		LockAcquires:      s.LockAcquires + o.LockAcquires,
+		LockWaitNs:        s.LockWaitNs + o.LockWaitNs,
+		BarrierWaits:      s.BarrierWaits + o.BarrierWaits,
+		BarrierWaitNs:     s.BarrierWaitNs + o.BarrierWaitNs,
+	}
+}
+
+// Sum aggregates a slice of snapshots.
+func Sum(snaps []Snapshot) Snapshot {
+	var total Snapshot
+	for _, s := range snaps {
+		total = total.Add(s)
+	}
+	return total
+}
+
+// Faults returns the total page-fault count.
+func (s Snapshot) Faults() int64 { return s.ReadFaults + s.WriteFaults }
+
+// Fields returns the snapshot as ordered (name, value) pairs, used by
+// the reporting tools so a new counter automatically appears in every
+// report.
+func (s Snapshot) Fields() []Field {
+	return []Field{
+		{"reads", s.Reads},
+		{"writes", s.Writes},
+		{"read_faults", s.ReadFaults},
+		{"write_faults", s.WriteFaults},
+		{"msgs_sent", s.MsgsSent},
+		{"bytes_sent", s.BytesSent},
+		{"msgs_recv", s.MsgsRecv},
+		{"bytes_recv", s.BytesRecv},
+		{"invalidations", s.Invalidations},
+		{"forwards", s.Forwards},
+		{"page_transfers", s.PageTransfers},
+		{"updates_applied", s.UpdatesApplied},
+		{"twins", s.TwinCopies},
+		{"diffs", s.DiffsCreated},
+		{"diff_bytes", s.DiffBytes},
+		{"diff_fetches", s.DiffFetches},
+		{"write_notices", s.WriteNotices},
+		{"direct_reads", s.DirectReads},
+		{"direct_writes", s.DirectWrites},
+		{"grant_payload_bytes", s.GrantPayloadBytes},
+		{"lock_acquires", s.LockAcquires},
+		{"lock_wait_ns", s.LockWaitNs},
+		{"barrier_waits", s.BarrierWaits},
+		{"barrier_wait_ns", s.BarrierWaitNs},
+	}
+}
+
+// Field is one named counter value.
+type Field struct {
+	Name  string
+	Value int64
+}
+
+// String renders the non-zero counters compactly, in field order.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	for _, f := range s.Fields() {
+		if f.Value == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", f.Name, f.Value)
+	}
+	if b.Len() == 0 {
+		return "(all zero)"
+	}
+	return b.String()
+}
+
+// Table renders rows of labelled values as an aligned text table with
+// a header line and a separator, suitable for experiment reports.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with right-aligned numeric-looking columns
+// and left-aligned text columns.
+func (t *Table) String() string {
+	ncol := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if isNumeric(cell) {
+				fmt.Fprintf(&b, "%*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '-' && i == 0:
+		case r == '.' && !dot:
+			dot = true
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// PerNodeReport renders one row per node plus a totals row for the
+// given snapshots, omitting columns that are zero everywhere.
+func PerNodeReport(snaps []Snapshot) string {
+	if len(snaps) == 0 {
+		return "(no nodes)\n"
+	}
+	total := Sum(snaps)
+	keep := make(map[string]bool)
+	var order []string
+	for _, f := range total.Fields() {
+		if f.Value != 0 {
+			keep[f.Name] = true
+			order = append(order, f.Name)
+		}
+	}
+	sortStable(order)
+	headers := append([]string{"node"}, order...)
+	t := NewTable(headers...)
+	rowFor := func(label string, s Snapshot) {
+		cells := []any{label}
+		vals := make(map[string]int64)
+		for _, f := range s.Fields() {
+			vals[f.Name] = f.Value
+		}
+		for _, name := range order {
+			cells = append(cells, vals[name])
+		}
+		t.AddRow(cells...)
+	}
+	for i, s := range snaps {
+		rowFor(fmt.Sprint(i), s)
+	}
+	rowFor("total", total)
+	return t.String()
+}
+
+// sortStable keeps the Fields declaration order (already meaningful)
+// rather than alphabetical; it exists so PerNodeReport's column order
+// is deterministic even if callers mutate the slice.
+func sortStable(names []string) {
+	idx := make(map[string]int)
+	for i, f := range (Snapshot{}).Fields() {
+		idx[f.Name] = i
+	}
+	sort.SliceStable(names, func(a, b int) bool { return idx[names[a]] < idx[names[b]] })
+}

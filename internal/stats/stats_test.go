@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotAndAdd(t *testing.T) {
+	var n Node
+	n.Reads.Add(3)
+	n.MsgsSent.Add(2)
+	s := n.Snapshot()
+	if s.Reads != 3 || s.MsgsSent != 2 || s.Writes != 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	sum := s.Add(s)
+	if sum.Reads != 6 || sum.MsgsSent != 4 {
+		t.Fatalf("add = %+v", sum)
+	}
+	if got := Sum([]Snapshot{s, s, s}).Reads; got != 9 {
+		t.Fatalf("Sum reads = %d", got)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	s := Snapshot{ReadFaults: 2, WriteFaults: 5}
+	if s.Faults() != 7 {
+		t.Fatalf("Faults = %d", s.Faults())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	var n Node
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				n.Writes.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Snapshot().Writes; got != 8000 {
+		t.Fatalf("Writes = %d, want 8000", got)
+	}
+}
+
+func TestFieldsCoverEveryCounter(t *testing.T) {
+	// Every struct field must appear in Fields so reports never
+	// silently drop a counter. Cross-check via the Add identity:
+	// a snapshot with each field = 1 must produce len(Fields) ones.
+	one := Snapshot{
+		Reads: 1, Writes: 1, ReadFaults: 1, WriteFaults: 1,
+		MsgsSent: 1, BytesSent: 1, MsgsRecv: 1, BytesRecv: 1,
+		Invalidations: 1, Forwards: 1, PageTransfers: 1,
+		UpdatesApplied: 1, TwinCopies: 1, DiffsCreated: 1,
+		DiffBytes: 1, DiffFetches: 1, WriteNotices: 1,
+		DirectReads: 1, DirectWrites: 1, GrantPayloadBytes: 1,
+		LockAcquires: 1, LockWaitNs: 1, BarrierWaits: 1, BarrierWaitNs: 1,
+	}
+	for _, f := range one.Fields() {
+		if f.Value != 1 {
+			t.Errorf("field %s not mapped (value %d)", f.Name, f.Value)
+		}
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{Reads: 5, DiffBytes: 7}
+	str := s.String()
+	if !strings.Contains(str, "reads=5") || !strings.Contains(str, "diff_bytes=7") {
+		t.Fatalf("String = %q", str)
+	}
+	if strings.Contains(str, "writes") {
+		t.Fatalf("zero counter rendered: %q", str)
+	}
+	if (Snapshot{}).String() != "(all zero)" {
+		t.Fatal("zero snapshot String wrong")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 100)
+	tb.AddRow("b", 2)
+	tb.AddRow("c", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "3.14") {
+		t.Fatalf("float row = %q", lines[4])
+	}
+	// Numeric column right-aligned: "100" and "  2" end at same offset.
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("misaligned rows:\n%s", out)
+	}
+}
+
+func TestPerNodeReport(t *testing.T) {
+	a := Snapshot{Reads: 1, MsgsSent: 2}
+	b := Snapshot{Reads: 3}
+	out := PerNodeReport([]Snapshot{a, b})
+	if !strings.Contains(out, "total") || !strings.Contains(out, "reads") {
+		t.Fatalf("report:\n%s", out)
+	}
+	if strings.Contains(out, "writes") {
+		t.Fatalf("all-zero column rendered:\n%s", out)
+	}
+	if PerNodeReport(nil) != "(no nodes)\n" {
+		t.Fatal("empty report wrong")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for s, want := range map[string]bool{
+		"123": true, "-4": true, "3.14": true, "": false,
+		"1.2.3": false, "abc": false, "12a": false,
+	} {
+		if isNumeric(s) != want {
+			t.Errorf("isNumeric(%q) = %v", s, !want)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	ch := NewChart("speedup vs nodes", "nodes", "speedup")
+	ch.Add("lrc", 1, 1.0)
+	ch.Add("lrc", 2, 1.7)
+	ch.Add("lrc", 4, 2.6)
+	ch.Add("sc", 1, 1.0)
+	ch.Add("sc", 2, 1.3)
+	ch.Add("sc", 4, 1.5)
+	out := ch.String()
+	for _, want := range []string{"A = lrc", "B = sc", "nodes", "speedup", "A=2.60", "B=1.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// x rows in ascending order.
+	if strings.Index(out, "1 |") > strings.Index(out, "4 |") {
+		t.Fatalf("x rows out of order:\n%s", out)
+	}
+	if !strings.Contains(NewChart("t", "x", "y").String(), "no data") {
+		t.Fatal("empty chart not handled")
+	}
+	// Colliding points render a * marker.
+	ch2 := NewChart("t", "x", "y")
+	ch2.Add("a", 1, 5)
+	ch2.Add("b", 1, 5)
+	if !strings.Contains(ch2.String(), "*") {
+		t.Fatalf("collision marker missing:\n%s", ch2.String())
+	}
+}

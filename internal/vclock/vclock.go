@@ -1,0 +1,122 @@
+// Package vclock implements fixed-width vector clocks as used by lazy
+// release consistency (Keleher et al., ISCA 1992) to order intervals:
+// each DSM node increments its own component at every release or
+// barrier, and lock grants carry the clock so the acquirer can
+// determine exactly which remote intervals it has not yet seen.
+package vclock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock with one uint32 component per node. The zero
+// length VC is valid and compares as all-zeros of any width.
+type VC []uint32
+
+// New returns a zeroed clock for n nodes.
+func New(n int) VC { return make(VC, n) }
+
+// Copy returns an independent copy of v.
+func (v VC) Copy() VC {
+	c := make(VC, len(v))
+	copy(c, v)
+	return c
+}
+
+// At returns component i, treating missing components as zero.
+func (v VC) At(i int) uint32 {
+	if i < 0 || i >= len(v) {
+		return 0
+	}
+	return v[i]
+}
+
+// Tick increments component i in place and returns the new value.
+func (v VC) Tick(i int) uint32 {
+	v[i]++
+	return v[i]
+}
+
+// Merge sets v to the component-wise maximum of v and o, in place.
+// o may have a different length; v is not resized, so callers must
+// allocate clocks at full cluster width (New(n)).
+func (v VC) Merge(o VC) {
+	for i := range v {
+		if o.At(i) > v[i] {
+			v[i] = o.At(i)
+		}
+	}
+}
+
+// Covers reports whether v >= o component-wise: every event known to
+// o is known to v. Covers(o) && o.Covers(v) implies Equal.
+func (v VC) Covers(o VC) bool {
+	n := len(v)
+	if len(o) > n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if v.At(i) < o.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Before reports whether v happened-before o: v <= o and v != o.
+func (v VC) Before(o VC) bool {
+	return o.Covers(v) && !v.Covers(o)
+}
+
+// Concurrent reports whether neither clock covers the other.
+func (v VC) Concurrent(o VC) bool {
+	return !v.Covers(o) && !o.Covers(v)
+}
+
+// Equal reports component-wise equality (missing components are zero).
+func (v VC) Equal(o VC) bool {
+	return v.Covers(o) && o.Covers(v)
+}
+
+// String renders the clock as "<c0 c1 ...>".
+func (v VC) String() string {
+	parts := make([]string, len(v))
+	for i, c := range v {
+		parts[i] = fmt.Sprint(c)
+	}
+	return "<" + strings.Join(parts, " ") + ">"
+}
+
+// EncodedSize returns the byte length of Encode's output for v.
+func (v VC) EncodedSize() int { return 2 + 4*len(v) }
+
+// Encode appends a compact binary form of v to buf and returns the
+// extended slice: a uint16 length followed by little-endian uint32
+// components.
+func (v VC) Encode(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v)))
+	for _, c := range v {
+		buf = binary.LittleEndian.AppendUint32(buf, c)
+	}
+	return buf
+}
+
+// Decode parses a clock produced by Encode from the front of buf,
+// returning the clock and the remaining bytes.
+func Decode(buf []byte) (VC, []byte, error) {
+	if len(buf) < 2 {
+		return nil, buf, fmt.Errorf("vclock: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < 4*n {
+		return nil, buf, fmt.Errorf("vclock: truncated clock: want %d components, have %d bytes", n, len(buf))
+	}
+	v := make(VC, n)
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return v, buf[4*n:], nil
+}

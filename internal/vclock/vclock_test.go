@@ -1,0 +1,155 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	v := New(3)
+	if v.String() != "<0 0 0>" {
+		t.Fatalf("String = %q", v.String())
+	}
+	if got := v.Tick(1); got != 1 {
+		t.Fatalf("Tick = %d", got)
+	}
+	if v.At(1) != 1 || v.At(0) != 0 || v.At(99) != 0 || v.At(-1) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestCoversAndBefore(t *testing.T) {
+	a := VC{1, 2, 0}
+	b := VC{1, 2, 1}
+	if !b.Covers(a) || a.Covers(b) {
+		t.Fatal("Covers wrong")
+	}
+	if !a.Before(b) || b.Before(a) {
+		t.Fatal("Before wrong")
+	}
+	if a.Concurrent(b) {
+		t.Fatal("ordered clocks reported concurrent")
+	}
+	c := VC{0, 3, 0}
+	if !a.Concurrent(c) || !c.Concurrent(a) {
+		t.Fatal("concurrent clocks not detected")
+	}
+	if !a.Equal(a.Copy()) {
+		t.Fatal("copy not equal")
+	}
+}
+
+func TestDifferentLengths(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{1, 2, 0, 0}
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("padding zeros should compare equal")
+	}
+	c := VC{1, 2, 0, 7}
+	if !c.Covers(a) || a.Covers(c) {
+		t.Fatal("covers across lengths wrong")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := VC{5, 0, 2}
+	a.Merge(VC{1, 7, 2})
+	if !a.Equal(VC{5, 7, 2}) {
+		t.Fatalf("merge = %v", a)
+	}
+	// Merge with a shorter clock.
+	a.Merge(VC{9})
+	if !a.Equal(VC{9, 7, 2}) {
+		t.Fatalf("merge short = %v", a)
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	v := VC{1, 0, 4294967295}
+	buf := v.Encode(nil)
+	if len(buf) != v.EncodedSize() {
+		t.Fatalf("encoded size %d, want %d", len(buf), v.EncodedSize())
+	}
+	got, rest, err := Decode(append(buf, 0xEE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v) || len(got) != len(v) {
+		t.Fatalf("decode = %v", got)
+	}
+	if len(rest) != 1 || rest[0] != 0xEE {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{5}); err == nil {
+		t.Error("short header accepted")
+	}
+	if _, _, err := Decode([]byte{2, 0, 1, 2, 3}); err == nil {
+		t.Error("truncated components accepted")
+	}
+}
+
+// Lattice laws, checked randomly.
+func TestLatticeQuick(t *testing.T) {
+	gen := func(r *rand.Rand) VC {
+		v := New(4)
+		for i := range v {
+			v[i] = uint32(r.Intn(5))
+		}
+		return v
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		// Merge is an upper bound.
+		m := a.Copy()
+		m.Merge(b)
+		if !m.Covers(a) || !m.Covers(b) {
+			return false
+		}
+		// Commutative.
+		m2 := b.Copy()
+		m2.Merge(a)
+		if !m.Equal(m2) {
+			return false
+		}
+		// Associative.
+		l := a.Copy()
+		l.Merge(b)
+		l.Merge(c)
+		r2 := b.Copy()
+		r2.Merge(c)
+		l2 := a.Copy()
+		l2.Merge(r2)
+		if !l.Equal(l2) {
+			return false
+		}
+		// Covers is a partial order: antisymmetry via Equal, and
+		// exactly one of Before/after/concurrent/equal holds.
+		rel := 0
+		if a.Equal(b) {
+			rel++
+		}
+		if a.Before(b) {
+			rel++
+		}
+		if b.Before(a) {
+			rel++
+		}
+		if a.Concurrent(b) {
+			rel++
+		}
+		if rel != 1 {
+			return false
+		}
+		// Encode/decode round trip.
+		got, rest, err := Decode(a.Encode(nil))
+		return err == nil && len(rest) == 0 && got.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

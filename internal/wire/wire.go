@@ -1,0 +1,262 @@
+// Package wire defines the DSM system's message vocabulary and its
+// binary wire encoding. Although nodes in this repository exchange
+// messages in-process, every message is encoded to bytes and decoded
+// on receipt so that message and byte counts reported by the
+// benchmarks correspond to what a network implementation would carry.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind identifies a protocol message type.
+type Kind uint8
+
+// Message kinds. Requests and their replies are paired; IsReply
+// reports which side a kind is on, which the node runtime uses to
+// route replies to waiting callers.
+const (
+	KInvalid Kind = iota
+
+	// Generic.
+	KAck // generic reply
+
+	// Distributed lock service (dsync).
+	KLockReq   // acquire request: Lock, Arg=mode, Data=acquirer payload
+	KLockFwd   // manager -> granter: forwarded request; Arg=mode, A(Arg2)=orig req, B=orig node
+	KLockGrant // reply to acquirer: Data=grant payload
+	KLockRel   // holder -> manager: release; Arg=mode
+
+	// Barrier service (dsync).
+	KBarArrive  // node -> barrier manager/parent: Lock=barrier id, Data=payload
+	KBarRelease // manager/parent -> nodes: Data=merged payload
+
+	// Event service (dsync): set-once flags with blocking waiters.
+	KEvtWait  // wait request: Lock=event id, Data=acquire payload
+	KEvtSet   // setter -> manager: Lock=event id
+	KEvtFired // reply to waiter: Data=grant payload
+
+	// Sequentially consistent write-invalidate (proto/sc).
+	KReadReq    // read fault: Page
+	KReadGrant  // reply: Data=page bytes unless Arg&FlagNoData
+	KWriteReq   // write fault: Page
+	KWriteGrant // reply: Data=page bytes unless Arg&FlagNoData
+	KInval      // invalidate: Page
+	KInvalAck   // reply to KInval; Data optionally carries a diff (ERC)
+	KConfirm    // requester -> manager: transaction complete; Page
+	KNotOwner   // reply in broadcast mode: receiver does not own Page
+
+	// Classic algorithm classes (proto/classic).
+	KDirRead      // central server read: Arg=addr, B=len
+	KDirReadReply // reply: Data=bytes
+	KDirWrite     // central server write: Arg=addr, Data=bytes
+	KDirWriteAck  // reply
+	KSeqWrite     // full replication: write to sequencer; Arg=addr, Data=bytes
+	KSeqWriteAck  // reply to writer
+	KUpdate       // sequencer -> copyset: Arg=addr, Data=bytes
+	KUpdateAck    // reply to sequencer
+	KPageReq      // fetch a page copy: Page
+	KPageReply    // reply: Data=page bytes
+
+	// Eager release consistency (proto/erc).
+	KErcFetch    // fetch page from home: Page
+	KErcPage     // reply: Data=page bytes
+	KErcFlush    // flush diff to home: Page, Data=diff
+	KErcFlushAck // reply after home has propagated
+	KErcInval    // home -> sharer: Page (invalidate flavor)
+	KErcInvalAck // reply; Data optionally carries the sharer's own pending diff
+	KErcUpdate   // home -> sharer: Page, Data=diff (update flavor)
+	KErcUpdAck   // reply
+
+	// Lazy release consistency (proto/lrc).
+	KDiffReq   // Page, Arg=first interval seq, B=last interval seq (at writer From->To)
+	KDiffReply // reply: Data=concatenated length-prefixed diffs
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	KInvalid:      "invalid",
+	KAck:          "ack",
+	KLockReq:      "lock-req",
+	KLockFwd:      "lock-fwd",
+	KLockGrant:    "lock-grant",
+	KLockRel:      "lock-rel",
+	KBarArrive:    "bar-arrive",
+	KBarRelease:   "bar-release",
+	KEvtWait:      "evt-wait",
+	KEvtSet:       "evt-set",
+	KEvtFired:     "evt-fired",
+	KReadReq:      "read-req",
+	KReadGrant:    "read-grant",
+	KWriteReq:     "write-req",
+	KWriteGrant:   "write-grant",
+	KInval:        "inval",
+	KInvalAck:     "inval-ack",
+	KConfirm:      "confirm",
+	KNotOwner:     "not-owner",
+	KDirRead:      "dir-read",
+	KDirReadReply: "dir-read-reply",
+	KDirWrite:     "dir-write",
+	KDirWriteAck:  "dir-write-ack",
+	KSeqWrite:     "seq-write",
+	KSeqWriteAck:  "seq-write-ack",
+	KUpdate:       "update",
+	KUpdateAck:    "update-ack",
+	KPageReq:      "page-req",
+	KPageReply:    "page-reply",
+	KErcFetch:     "erc-fetch",
+	KErcPage:      "erc-page",
+	KErcFlush:     "erc-flush",
+	KErcFlushAck:  "erc-flush-ack",
+	KErcInval:     "erc-inval",
+	KErcInvalAck:  "erc-inval-ack",
+	KErcUpdate:    "erc-update",
+	KErcUpdAck:    "erc-upd-ack",
+	KDiffReq:      "diff-req",
+	KDiffReply:    "diff-reply",
+}
+
+// String returns the kind's protocol name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var replyKind = map[Kind]bool{
+	KAck:          true,
+	KLockGrant:    true,
+	KBarRelease:   true,
+	KEvtFired:     true,
+	KReadGrant:    true,
+	KWriteGrant:   true,
+	KInvalAck:     true,
+	KNotOwner:     true,
+	KDirReadReply: true,
+	KDirWriteAck:  true,
+	KSeqWriteAck:  true,
+	KUpdateAck:    true,
+	KPageReply:    true,
+	KErcPage:      true,
+	KErcFlushAck:  true,
+	KErcInvalAck:  true,
+	KErcUpdAck:    true,
+	KDiffReply:    true,
+}
+
+// IsReply reports whether k is a reply kind, routed to a waiting
+// caller by request id rather than to a handler.
+func (k Kind) IsReply() bool { return replyKind[k] }
+
+// Flags carried in Msg.Arg by grant messages.
+const (
+	// FlagNoData marks a grant whose page payload was elided because
+	// the requester already holds a valid copy.
+	FlagNoData uint64 = 1 << 0
+)
+
+// Msg is a protocol message. The scalar fields are a small fixed
+// vocabulary shared by all protocols (interpreted per Kind); Data and
+// Aux carry variable payloads (page contents, diffs, piggybacked
+// consistency information).
+type Msg struct {
+	Kind Kind
+	From int32 // logical originator (preserved across forwarding)
+	To   int32
+	Req  uint64 // request id, echoed by replies; globally unique per request
+	Page int32
+	Lock int32
+	Arg  uint64
+	B    uint64
+	Data []byte
+	Aux  []byte
+}
+
+const headerSize = 1 + 4 + 4 + 8 + 4 + 4 + 8 + 8 + 4 + 4 // fields + two payload lengths
+
+// EncodedSize returns the number of bytes Encode will produce.
+func (m *Msg) EncodedSize() int { return headerSize + len(m.Data) + len(m.Aux) }
+
+// Encode appends the wire form of m to buf and returns the extended
+// slice.
+func (m *Msg) Encode(buf []byte) []byte {
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.To))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Req)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Page))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Lock))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Arg)
+	buf = binary.LittleEndian.AppendUint64(buf, m.B)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Data)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Aux)))
+	buf = append(buf, m.Data...)
+	buf = append(buf, m.Aux...)
+	return buf
+}
+
+// Decode parses one message from buf, which must contain exactly one
+// encoded message.
+func Decode(buf []byte) (*Msg, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("wire: short message: %d bytes", len(buf))
+	}
+	m := &Msg{}
+	m.Kind = Kind(buf[0])
+	if m.Kind == KInvalid || m.Kind >= kindCount {
+		return nil, fmt.Errorf("wire: unknown kind %d", buf[0])
+	}
+	m.From = int32(binary.LittleEndian.Uint32(buf[1:]))
+	m.To = int32(binary.LittleEndian.Uint32(buf[5:]))
+	m.Req = binary.LittleEndian.Uint64(buf[9:])
+	m.Page = int32(binary.LittleEndian.Uint32(buf[17:]))
+	m.Lock = int32(binary.LittleEndian.Uint32(buf[21:]))
+	m.Arg = binary.LittleEndian.Uint64(buf[25:])
+	m.B = binary.LittleEndian.Uint64(buf[33:])
+	nd := int(binary.LittleEndian.Uint32(buf[41:]))
+	na := int(binary.LittleEndian.Uint32(buf[45:]))
+	rest := buf[headerSize:]
+	if len(rest) != nd+na {
+		return nil, fmt.Errorf("wire: payload length mismatch: header says %d+%d, have %d", nd, na, len(rest))
+	}
+	if nd > 0 {
+		m.Data = append([]byte(nil), rest[:nd]...)
+	}
+	if na > 0 {
+		m.Aux = append([]byte(nil), rest[nd:]...)
+	}
+	return m, nil
+}
+
+// String renders a compact human-readable form for traces.
+func (m *Msg) String() string {
+	s := fmt.Sprintf("%s %d->%d", m.Kind, m.From, m.To)
+	if m.Req != 0 {
+		s += fmt.Sprintf(" req=%x", m.Req)
+	}
+	if m.Page != 0 || m.Kind == KReadReq || m.Kind == KWriteReq {
+		s += fmt.Sprintf(" page=%d", m.Page)
+	}
+	if m.Lock != 0 {
+		s += fmt.Sprintf(" lock=%d", m.Lock)
+	}
+	if m.Arg != 0 {
+		s += fmt.Sprintf(" arg=%#x", m.Arg)
+	}
+	if m.B != 0 {
+		s += fmt.Sprintf(" b=%#x", m.B)
+	}
+	if len(m.Data) > 0 {
+		s += fmt.Sprintf(" data=%dB", len(m.Data))
+	}
+	if len(m.Aux) > 0 {
+		s += fmt.Sprintf(" aux=%dB", len(m.Aux))
+	}
+	return s
+}
+
+// NumKinds returns the number of defined kinds (for handler tables).
+func NumKinds() int { return int(kindCount) }
