@@ -2,15 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench experiments examples fmt vet clean
+.PHONY: all build test race short bench chaos experiments examples fmt vet clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# Default test gate: vet, the full suite, and the chaos/reliability
+# packages again under the race detector (their concurrency is the
+# newest and the most delicate).
+test: vet
 	$(GO) test ./... -timeout 1200s
+	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet
 
 short:
 	$(GO) test ./... -short -timeout 600s
@@ -20,6 +24,10 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1800s ./...
+
+# Run the fault-injection correctness matrix under the race detector.
+chaos:
+	$(GO) test -race -run TestChaos -v -timeout 900s ./internal/chaos
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dsmrun -app sor -proto lrc -nodes 8 -page 1024
+//	dsmrun -app sor -proto sc-fixed -chaos       # under fault injection
 //	dsmrun -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -49,6 +51,8 @@ func main() {
 	perByte := flag.Duration("perbyte", 0, "per-byte network cost")
 	advise := flag.Bool("advise", false, "classify per-page sharing patterns (Munin-style)")
 	medium := flag.Bool("medium", false, "use benchmark-scale workload sizes")
+	chaosOn := flag.Bool("chaos", false, "inject network faults (drops, duplicates, partitions, stalls)")
+	seed := flag.Int64("seed", 1, "seed for jitter and fault injection")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	flag.Parse()
 
@@ -82,7 +86,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dsmrun: %s is not lock-only; entry consistency requires bound data\n", app.Name())
 		os.Exit(2)
 	}
-	c, err := core.NewCluster(core.Config{
+	cfg := core.Config{
 		Nodes:     *nodes,
 		Protocol:  proto,
 		PageSize:  *page,
@@ -90,7 +94,17 @@ func main() {
 		Latency:   *latency,
 		PerByte:   *perByte,
 		Advise:    *advise,
-	})
+		Seed:      *seed,
+	}
+	var plan chaos.Plan
+	if *chaosOn {
+		plan = chaos.DefaultPlan(*nodes, *seed)
+		faults := plan.Faults
+		cfg.Faults = &faults
+		cfg.Retry = chaos.Retry()
+		cfg.WatchdogTimeout = 30 * time.Second
+	}
+	c, err := core.NewCluster(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun:", err)
 		os.Exit(1)
@@ -100,8 +114,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dsmrun: setup:", err)
 		os.Exit(1)
 	}
+	var inj *chaos.Injector
+	if *chaosOn {
+		inj = plan.Start(c)
+	}
 	start := time.Now()
-	if err := c.Run(app.Run); err != nil {
+	err = c.Run(app.Run)
+	if inj != nil {
+		inj.Stop()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dsmrun: run:", err)
 		os.Exit(1)
 	}
@@ -113,6 +135,9 @@ func main() {
 	fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n\n",
 		app.Name(), proto, *nodes, *page, elapsed.Round(time.Microsecond), verdict)
 	fmt.Print(stats.PerNodeReport(c.Stats()))
+	if *chaosOn {
+		fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
+	}
 	if adv := c.Advisor(); adv != nil {
 		fmt.Printf("\nsharing-pattern classification (Munin-style):\n%s", adv.Report())
 	}

@@ -164,6 +164,20 @@ type Config struct {
 	CallTimeout time.Duration
 	// Trace, if set, observes every delivered message.
 	Trace func(*wire.Msg)
+
+	// Faults injects network faults (drops, duplicates, latency
+	// spikes) per the plan, seeded from Seed. Setting it also enables
+	// the nodes' reliability layer (retry/backoff + duplicate
+	// suppression) so the protocols survive the faults.
+	Faults *simnet.FaultPlan
+	// Retry overrides the reliability layer's retransmission policy;
+	// setting it enables the layer even with Faults nil.
+	Retry *nodecore.RetryPolicy
+	// WatchdogTimeout arms a cluster-wide stall detector during Run:
+	// if no node dispatches any message for this long while requests
+	// are in flight, Run fails with a per-node dump of the stuck
+	// calls. Zero disables the watchdog.
+	WatchdogTimeout time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -230,6 +244,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		Jitter:        cfg.Jitter,
 		Seed:          cfg.Seed,
 		Trace:         cfg.Trace,
+		Faults:        cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +268,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		rt := nodecore.New(simnet.NodeID(i), cfg.Nodes, net.Endpoint(simnet.NodeID(i)), tbl, st)
 		if cfg.CallTimeout > 0 {
 			rt.SetCallTimeout(cfg.CallTimeout)
+		}
+		if cfg.Faults != nil || cfg.Retry != nil {
+			var policy nodecore.RetryPolicy
+			if cfg.Retry != nil {
+				policy = *cfg.Retry
+			}
+			rt.EnableReliability(policy, cfg.Seed)
 		}
 		if c.adv != nil {
 			rt.SetAccessCollector(c.adv)
@@ -309,13 +331,20 @@ func (c *Cluster) PageSize() int { return c.cfg.PageSize }
 // Run executes fn once per node concurrently and waits for all to
 // finish. It returns the chronologically first error: when one node
 // fails early, the others typically time out later at a barrier or
-// lock, and those secondary timeouts would mask the root cause.
+// lock, and those secondary timeouts would mask the root cause. With
+// Config.WatchdogTimeout set, a cluster-wide stall detector runs
+// alongside and its verdict (with the per-node in-flight dump)
+// supersedes the secondary errors it provokes.
 func (c *Cluster) Run(fn func(n *Node) error) error {
 	var (
 		mu    sync.Mutex
 		first error
 		wg    sync.WaitGroup
 	)
+	var wd *watchdog
+	if c.cfg.WatchdogTimeout > 0 {
+		wd = startWatchdog(c, c.cfg.WatchdogTimeout)
+	}
 	for i, n := range c.nodes {
 		wg.Add(1)
 		go func(i int, n *Node) {
@@ -330,8 +359,29 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 		}(i, n)
 	}
 	wg.Wait()
+	if wd != nil {
+		if err := wd.halt(); err != nil {
+			return err
+		}
+	}
 	return first
 }
+
+// Partition blocks traffic between nodes a and b (both directions)
+// for the given duration, then heals.
+func (c *Cluster) Partition(a, b int, d time.Duration) {
+	c.net.Partition(simnet.NodeID(a), simnet.NodeID(b), d)
+}
+
+// StallNode freezes message delivery into node id for the given
+// duration (a GC pause / overloaded-host model); messages queue and
+// deliver in order once the stall lifts.
+func (c *Cluster) StallNode(id int, d time.Duration) {
+	c.net.StallNode(simnet.NodeID(id), d)
+}
+
+// FaultStats exposes the network's fault-injection counters.
+func (c *Cluster) FaultStats() *simnet.FaultStats { return c.net.Faults() }
 
 // Stats returns a per-node snapshot of the counters.
 func (c *Cluster) Stats() []stats.Snapshot {

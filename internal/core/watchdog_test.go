@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogDetectsStall: a held-forever lock stalls the cluster
+// (one node blocked in acquire, no message progress), and the
+// watchdog converts the hang into an error naming the stuck call.
+func TestWatchdogDetectsStall(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 2, WatchdogTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.Acquire(1); err != nil {
+				return err
+			}
+			<-n.Runtime().Done() // hold the lock until shutdown
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond) // let node 0 win the lock
+		return n.Acquire(1)               // deadlocks; the watchdog must notice
+	})
+	if err == nil {
+		t.Fatal("stalled run returned nil")
+	}
+	for _, want := range []string{"watchdog", "no message progress", "lock-req"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestWatchdogQuietOnHealthyRun: the watchdog must not fire on a run
+// that is slow but making progress, nor on one computing locally.
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	c, err := NewCluster(Config{Nodes: 2, WatchdogTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) error {
+		time.Sleep(500 * time.Millisecond) // local compute, no messages
+		if err := n.Acquire(1); err != nil {
+			return err
+		}
+		if err := n.Release(1); err != nil {
+			return err
+		}
+		return n.Barrier(0)
+	})
+	if err != nil {
+		t.Fatalf("healthy run failed: %v", err)
+	}
+}

@@ -234,14 +234,22 @@ func (s *Service) acquire(id int32, mode Mode) error {
 }
 
 // Release gives up lock id (either mode; the service remembers which
-// mode was granted at the manager).
+// mode was granted at the manager). Fault-free mode sends it one-way
+// (the queue-lock literature's shape); a lost release would strand
+// every queued waiter, so reliable mode upgrades it to an
+// acknowledged, retried request.
 func (s *Service) Release(id int32) error {
 	s.hooks.OnRelease(id)
-	return s.rt.Send(&wire.Msg{
+	m := &wire.Msg{
 		Kind: wire.KLockRel,
 		To:   s.managerOf(id),
 		Lock: id,
-	})
+	}
+	if s.rt.Reliable() {
+		_, err := s.rt.CallT(m, s.cfg.AcquireTimeout)
+		return err
+	}
+	return s.rt.Send(m)
 }
 
 // handleLockReq runs either at the lock's manager (queue/grant
@@ -324,6 +332,7 @@ func (s *Service) handleLockRel(m *wire.Msg) {
 		ls.sharedCount--
 		if ls.sharedCount > 0 {
 			ls.mu.Unlock()
+			s.ackIfAsked(m)
 			return
 		}
 	}
@@ -352,7 +361,17 @@ func (s *Service) handleLockRel(m *wire.Msg) {
 	}
 	granter := ls.lastReleaser
 	ls.mu.Unlock()
+	s.ackIfAsked(m)
 	for _, pg := range grants {
 		s.grant(m.Lock, pg, granter)
+	}
+}
+
+// ackIfAsked acknowledges requests that carry a request id — i.e.
+// releases and event-sets sent through the reliable Call path. The
+// fault-free one-way forms have Req == 0 and get no (billed) reply.
+func (s *Service) ackIfAsked(m *wire.Msg) {
+	if m.Req != 0 {
+		_ = s.rt.Ack(m)
 	}
 }

@@ -63,13 +63,22 @@ func (s *Service) EventWait(id int32) error {
 
 // EventSet fires event id, releasing all current and future waiters.
 // Setting an already-set event is an error (events are set-once).
+// Like lock releases, the one-way form is upgraded to an
+// acknowledged, retried request under the reliability layer — the
+// receive-side dedup table keeps retransmitted sets from tripping
+// the set-once check.
 func (s *Service) EventSet(id int32) error {
 	s.hooks.OnEventSet(eventHookID(id))
-	return s.rt.Send(&wire.Msg{
+	m := &wire.Msg{
 		Kind: wire.KEvtSet,
 		To:   s.managerOf(id),
 		Lock: id,
-	})
+	}
+	if s.rt.Reliable() {
+		_, err := s.rt.CallT(m, s.cfg.AcquireTimeout)
+		return err
+	}
+	return s.rt.Send(m)
 }
 
 // eventHookID maps the event id into a hook-visible id distinct from
@@ -113,6 +122,7 @@ func (s *Service) handleEvtSet(m *wire.Msg) {
 	waiters := es.waiters
 	es.waiters = nil
 	es.mu.Unlock()
+	s.ackIfAsked(m)
 	for _, pg := range waiters {
 		s.fireEvent(m.Lock, pg, es.setter)
 	}

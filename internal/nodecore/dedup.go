@@ -1,0 +1,160 @@
+package nodecore
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// dedupTable makes request handling idempotent under at-least-once
+// delivery: each request a node receives is recorded keyed by
+// (origin, request id), and a retransmitted or network-duplicated
+// copy is answered from the record instead of re-running the handler.
+//
+// Entry lifecycle:
+//
+//   - created inflight when the first copy of a request is dispatched
+//     to its handler;
+//   - moves to forwarded when the node relays the request elsewhere
+//     (manager relays, probable-owner chains) — duplicates re-send
+//     the recorded relay copy (which may carry flags and tokens the
+//     original lacks), and the destination's own table finishes the
+//     job;
+//   - moves to done when the node sends a reply carrying the request
+//     id — the reply is cached and re-sent verbatim for duplicates.
+//
+// The table is bounded: entries are evicted FIFO by insertion order
+// once the table exceeds its capacity, so memory does not grow with
+// message count. Eviction can in principle forget a transaction
+// whose duplicate arrives later than capacity-many newer requests,
+// which is harmless for this repository's scale (the retry window is
+// seconds; the capacity covers minutes of traffic).
+type dedupTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[dedupKey]*dedupEntry
+	order   []dedupKey // insertion order, for FIFO eviction
+}
+
+type dedupKey struct {
+	from int32
+	req  uint64
+}
+
+const (
+	dedupInflight = iota
+	dedupForwarded
+	dedupDone
+)
+
+type dedupEntry struct {
+	state int
+	fwd   *wire.Msg // the relayed copy, valid when state == dedupForwarded
+	reply *wire.Msg // valid when state == dedupDone
+}
+
+const defaultDedupCap = 4096
+
+func newDedupTable(capacity int) *dedupTable {
+	if capacity <= 0 {
+		capacity = defaultDedupCap
+	}
+	return &dedupTable{
+		cap:     capacity,
+		entries: make(map[dedupKey]*dedupEntry),
+	}
+}
+
+// admit records the first sighting of a request and reports whether
+// it is a duplicate; for duplicates it returns the recorded state.
+func (t *dedupTable) admit(from int32, req uint64) (dup bool, state int, fwd, reply *wire.Msg) {
+	k := dedupKey{from, req}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[k]; ok {
+		return true, e.state, e.fwd, e.reply
+	}
+	t.entries[k] = &dedupEntry{state: dedupInflight}
+	t.order = append(t.order, k)
+	for len(t.entries) > t.cap {
+		evict := t.order[0]
+		t.order = t.order[1:]
+		delete(t.entries, evict)
+	}
+	return false, dedupInflight, nil, nil
+}
+
+// completed caches the reply sent for request (from, req). A reply
+// for an unknown key is ignored (the entry was evicted, or the
+// message is a token release rather than a request reply).
+func (t *dedupTable) completed(from int32, req uint64, reply *wire.Msg) {
+	k := dedupKey{from, req}
+	t.mu.Lock()
+	if e, ok := t.entries[k]; ok {
+		e.state = dedupDone
+		e.reply = reply
+	}
+	t.mu.Unlock()
+}
+
+// forwarded records the relay copy sent for request (from, req), so a
+// duplicate can re-send it verbatim. The copy matters: relays may
+// decorate the message with flags and transaction tokens, and a
+// re-relay of the undecorated original would start a second,
+// conflicting transaction at the destination.
+func (t *dedupTable) forwarded(from int32, req uint64, fwd *wire.Msg) {
+	k := dedupKey{from, req}
+	t.mu.Lock()
+	if e, ok := t.entries[k]; ok && e.state != dedupDone {
+		e.state = dedupForwarded
+		e.fwd = fwd
+	}
+	t.mu.Unlock()
+}
+
+// size returns the current entry count (for tests).
+func (t *dedupTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// completedRing remembers the most recent completed (replied or
+// abandoned) outbound request ids so that a reply arriving after its
+// call finished can be classified as a late duplicate — expected
+// under retransmission — rather than a genuinely stray reply, which
+// would indicate a protocol bug. Bounded FIFO like the dedup table.
+type completedRing struct {
+	mu    sync.Mutex
+	cap   int
+	seen  map[uint64]struct{}
+	order []uint64
+}
+
+func newCompletedRing(capacity int) *completedRing {
+	if capacity <= 0 {
+		capacity = defaultDedupCap
+	}
+	return &completedRing{cap: capacity, seen: make(map[uint64]struct{})}
+}
+
+func (r *completedRing) add(req uint64) {
+	r.mu.Lock()
+	if _, ok := r.seen[req]; !ok {
+		r.seen[req] = struct{}{}
+		r.order = append(r.order, req)
+		for len(r.seen) > r.cap {
+			evict := r.order[0]
+			r.order = r.order[1:]
+			delete(r.seen, evict)
+		}
+	}
+	r.mu.Unlock()
+}
+
+func (r *completedRing) has(req uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.seen[req]
+	return ok
+}

@@ -1,0 +1,217 @@
+package nodecore
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// reliablePair builds a two-node network with the given fault plan
+// and the reliability layer enabled on both runtimes.
+func reliablePair(t *testing.T, fp *simnet.FaultPlan, policy RetryPolicy) (*Runtime, *Runtime) {
+	t.Helper()
+	net, err := simnet.New(simnet.Config{Nodes: 2, Seed: 7, Faults: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := make([]*Runtime, 2)
+	for i := 0; i < 2; i++ {
+		tbl, err := mem.NewTable(1<<14, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rts[i] = New(simnet.NodeID(i), 2, net.Endpoint(simnet.NodeID(i)), tbl, &stats.Node{})
+		rts[i].EnableReliability(policy, 7)
+		rts[i].SetEngine(&echoEngine{})
+		rts[i].Start()
+	}
+	t.Cleanup(func() {
+		net.Close()
+		rts[0].Close()
+		rts[1].Close()
+	})
+	return rts[0], rts[1]
+}
+
+// TestLateReplyClassified: a reply that arrives after its call gave
+// up is a late duplicate (expected under retransmission), not a
+// stray (which would indicate a protocol bug).
+func TestLateReplyClassified(t *testing.T) {
+	a, b, _, _ := pair(t)
+	release := make(chan struct{})
+	b.Handle(wire.KDiffReq, func(m *wire.Msg) {
+		<-release
+		_ = b.Reply(m, &wire.Msg{Kind: wire.KDiffReply})
+	})
+	_, err := a.CallT(&wire.Msg{Kind: wire.KDiffReq, To: 1}, 30*time.Millisecond)
+	if err == nil {
+		t.Fatal("no timeout")
+	}
+	close(release) // the reply now lands after the caller unregistered
+	deadline := time.Now().Add(time.Second)
+	for a.LateReplies() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("late reply not recorded (stray=%d)", a.StrayReplies())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if a.StrayReplies() != 0 {
+		t.Fatalf("late reply miscounted as stray (stray=%d)", a.StrayReplies())
+	}
+}
+
+// TestAwaitTokenTimeoutError: the token timeout error identifies the
+// token and the wait, so watchdog/timeout reports are actionable.
+func TestAwaitTokenTimeoutError(t *testing.T) {
+	a, _, _, _ := pair(t)
+	tok, ch := a.NewToken()
+	err := a.AwaitToken(tok, ch, 20*time.Millisecond)
+	if err == nil {
+		t.Fatal("token wait did not time out")
+	}
+	for _, want := range []string{"token", fmt.Sprintf("%x", tok), "20ms"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("token timeout error %q missing %q", err, want)
+		}
+	}
+}
+
+// TestRetryRecoversFromDrops: with heavy loss, every call still
+// completes (at-least-once + dedup), and the retry counters move.
+func TestRetryRecoversFromDrops(t *testing.T) {
+	a, b := reliablePair(t, &simnet.FaultPlan{DropProb: 0.3, DupProb: 0.2},
+		RetryPolicy{AttemptTimeout: 5 * time.Millisecond, BackoffCap: 50 * time.Millisecond})
+	for i := 0; i < 60; i++ {
+		reply, err := a.CallT(&wire.Msg{Kind: wire.KPageReq, To: 1, Arg: uint64(i)}, 10*time.Second)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if reply.Arg != uint64(i)+1 {
+			t.Fatalf("call %d: reply %+v", i, reply)
+		}
+	}
+	if a.Stats().Retries.Load() == 0 {
+		t.Fatal("no retries under 30% drop")
+	}
+	if a.Stats().StrayReplies.Load() != 0 {
+		t.Fatalf("stray replies: %d", a.Stats().StrayReplies.Load())
+	}
+	_ = b
+}
+
+// TestDuplicateRequestRunsHandlerOnce: a retransmitted request must
+// not re-execute the handler; the cached reply answers it.
+func TestDuplicateRequestRunsHandlerOnce(t *testing.T) {
+	a, b := reliablePair(t, nil, RetryPolicy{})
+	var runs atomic.Int64
+	b.Handle(wire.KDiffReq, func(m *wire.Msg) {
+		runs.Add(1)
+		_ = b.Reply(m, &wire.Msg{Kind: wire.KDiffReply, Arg: 99})
+	})
+	reply, err := a.Call(&wire.Msg{Kind: wire.KDiffReq, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay the exact request (same Req id) straight at the endpoint.
+	dup := &wire.Msg{Kind: wire.KDiffReq, From: 0, To: 1, Req: reply.Req}
+	if err := a.ep.Send(dup); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for b.Stats().CachedReplies.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cached reply not re-served")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("handler ran %d times", got)
+	}
+	if b.Stats().DupRequests.Load() == 0 {
+		t.Fatal("duplicate request not counted")
+	}
+}
+
+// TestReliableTokenConfirm: ReleaseToken under reliability travels
+// as an acknowledged KConfirm and still releases the waiter.
+func TestReliableTokenConfirm(t *testing.T) {
+	a, b := reliablePair(t, &simnet.FaultPlan{DropProb: 0.3},
+		RetryPolicy{AttemptTimeout: 5 * time.Millisecond, BackoffCap: 50 * time.Millisecond})
+	for i := 0; i < 20; i++ {
+		tok, ch := a.NewToken()
+		done := make(chan error, 1)
+		go func() { done <- a.AwaitToken(tok, ch, 10*time.Second) }()
+		if err := b.ReleaseToken(0, tok); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+		if err := <-done; err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+	}
+}
+
+// TestDedupTableBounded: the dedup table and completed ring must not
+// grow with message count — entries are evicted FIFO at capacity.
+func TestDedupTableBounded(t *testing.T) {
+	d := newDedupTable(64)
+	for i := 0; i < 10_000; i++ {
+		d.admit(1, uint64(i))
+		d.completed(1, uint64(i), &wire.Msg{Kind: wire.KAck})
+	}
+	if got := d.size(); got > 64 {
+		t.Fatalf("dedup table grew to %d entries (cap 64)", got)
+	}
+	// Recent entries survive, ancient ones were evicted.
+	if dup, _, _, _ := d.admit(1, 9_999); !dup {
+		t.Fatal("most recent entry evicted")
+	}
+	if dup, _, _, _ := d.admit(1, 0); dup {
+		t.Fatal("oldest entry not evicted")
+	}
+	r := newCompletedRing(64)
+	for i := 0; i < 10_000; i++ {
+		r.add(uint64(i))
+	}
+	if len(r.seen) > 64 || len(r.order) > 64 {
+		t.Fatalf("completed ring grew to %d/%d (cap 64)", len(r.seen), len(r.order))
+	}
+	if !r.has(9_999) || r.has(0) {
+		t.Fatal("completed ring eviction order wrong")
+	}
+}
+
+// TestPendingCallsDump: the watchdog's dump names the in-flight
+// request and its destination.
+func TestPendingCallsDump(t *testing.T) {
+	a, b, _, _ := pair(t)
+	stuck := make(chan struct{})
+	b.Handle(wire.KDiffReq, func(m *wire.Msg) { <-stuck })
+	done := make(chan struct{})
+	go func() {
+		_, _ = a.CallT(&wire.Msg{Kind: wire.KDiffReq, To: 1}, time.Second)
+		close(done)
+	}()
+	deadline := time.Now().Add(time.Second)
+	for len(a.PendingCalls()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pending call never visible")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dump := a.DumpPending()
+	if !strings.Contains(dump, "diff-req") || !strings.Contains(dump, "to 1") {
+		t.Fatalf("dump = %q", dump)
+	}
+	close(stuck)
+	<-done
+	if got := a.DumpPending(); !strings.Contains(got, "no pending") {
+		t.Fatalf("dump after completion = %q", got)
+	}
+}

@@ -21,7 +21,10 @@ package nodecore
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/advisor"
@@ -75,7 +78,7 @@ type Runtime struct {
 	handlers  []func(*wire.Msg)
 
 	pendMu  sync.Mutex
-	pending map[uint64]chan *wire.Msg
+	pending map[uint64]*pendingCall
 	reqSeq  uint64
 
 	callTimeout time.Duration
@@ -84,8 +87,56 @@ type Runtime struct {
 	dispatchWG  sync.WaitGroup
 	handlerWG   sync.WaitGroup
 
-	strayReplies int64 // diagnostic; benign in broadcast mode
-	strayMu      sync.Mutex
+	// Reliability layer (inactive — and pay-for-what-you-use free —
+	// unless EnableReliability was called).
+	reliable  bool
+	retry     RetryPolicy
+	retryMu   sync.Mutex
+	retryRng  uint64
+	dedup     *dedupTable
+	completed *completedRing
+
+	dispatched atomic.Int64 // messages processed by the dispatch loop
+}
+
+// pendingCall is one outstanding request awaiting its reply, with
+// enough metadata for the watchdog's in-flight dump.
+type pendingCall struct {
+	ch    chan *wire.Msg
+	kind  wire.Kind
+	to    simnet.NodeID
+	since time.Time
+}
+
+// PendingCall describes one in-flight request, for diagnostics.
+type PendingCall struct {
+	Req   uint64
+	Kind  wire.Kind
+	To    simnet.NodeID
+	Since time.Time
+}
+
+// RetryPolicy tunes CallT's retransmission behaviour once
+// EnableReliability is active. The per-attempt reply wait starts at
+// AttemptTimeout and doubles per retry up to BackoffCap, with a
+// deterministic +/-25% jitter; MaxAttempts bounds transmissions.
+type RetryPolicy struct {
+	MaxAttempts    int           // total transmissions per call (default 64)
+	AttemptTimeout time.Duration // first attempt's reply wait (default 50ms)
+	BackoffCap     time.Duration // upper bound on per-attempt wait (default 1s)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 64
+	}
+	if p.AttemptTimeout <= 0 {
+		p.AttemptTimeout = 50 * time.Millisecond
+	}
+	if p.BackoffCap <= 0 {
+		p.BackoffCap = time.Second
+	}
+	return p
 }
 
 // New builds a runtime for node id of an n-node cluster.
@@ -98,10 +149,51 @@ func New(id simnet.NodeID, n int, ep *simnet.Endpoint, tbl *mem.Table, st *stats
 		tbl:         tbl,
 		st:          st,
 		handlers:    make([]func(*wire.Msg), wire.NumKinds()),
-		pending:     make(map[uint64]chan *wire.Msg),
+		pending:     make(map[uint64]*pendingCall),
 		callTimeout: 30 * time.Second,
 		done:        make(chan struct{}),
+		completed:   newCompletedRing(0),
 	}
+}
+
+// EnableReliability turns on the at-least-once RPC machinery: CallT
+// retransmits timed-out requests with capped exponential backoff and
+// deterministic jitter, the receive side suppresses duplicate
+// requests and re-serves cached replies (making retried requests
+// idempotent), and token confirmations travel as acknowledged
+// KConfirm requests instead of bare one-way acks. Must be called
+// before Start. With reliability off, every path behaves — and
+// counts messages — exactly as the fault-free substrate always has.
+func (r *Runtime) EnableReliability(p RetryPolicy, seed int64) {
+	if r.reliable {
+		return
+	}
+	r.reliable = true
+	r.retry = p.withDefaults()
+	r.retryRng = uint64(seed)*0x9e3779b97f4a7c15 + uint64(r.id)*2654435761 + 1
+	r.dedup = newDedupTable(0)
+	r.Handle(wire.KConfirm, r.handleConfirm)
+}
+
+// Reliable reports whether the reliability layer is active.
+func (r *Runtime) Reliable() bool { return r.reliable }
+
+// handleConfirm serves a reliable token confirmation: release the
+// local waiter (if still waiting) and acknowledge so the sender
+// stops retransmitting. Idempotent by construction — a confirm for
+// an already-released or timed-out token just acks.
+func (r *Runtime) handleConfirm(m *wire.Msg) {
+	tok := m.Arg
+	r.pendMu.Lock()
+	pc, ok := r.pending[tok]
+	if ok {
+		delete(r.pending, tok)
+	}
+	r.pendMu.Unlock()
+	if ok {
+		pc.ch <- &wire.Msg{Kind: wire.KAck, From: m.From, To: r.id, Req: tok}
+	}
+	_ = r.Ack(m)
 }
 
 // ID returns this node's id.
@@ -164,21 +256,46 @@ func (r *Runtime) Close() {
 func (r *Runtime) dispatch() {
 	defer r.dispatchWG.Done()
 	for m := range r.ep.Recv() {
+		r.dispatched.Add(1)
 		if m.Kind.IsReply() {
 			r.pendMu.Lock()
-			ch, ok := r.pending[m.Req]
+			pc, ok := r.pending[m.Req]
 			if ok {
 				delete(r.pending, m.Req)
 			}
 			r.pendMu.Unlock()
 			if ok {
-				ch <- m // buffered, never blocks
+				// Record completion here, on the dispatch goroutine,
+				// so a duplicate of this reply arriving next is
+				// already classifiable as a late duplicate.
+				r.completed.add(m.Req)
+				pc.ch <- m // buffered, never blocks
+			} else if r.completed.has(m.Req) {
+				r.st.LateReplies.Add(1)
 			} else {
-				r.strayMu.Lock()
-				r.strayReplies++
-				r.strayMu.Unlock()
+				r.st.StrayReplies.Add(1)
 			}
 			continue
+		}
+		if r.reliable && m.Req != 0 {
+			if dup, state, fwd, cached := r.dedup.admit(m.From, m.Req); dup {
+				r.st.DupRequests.Add(1)
+				switch state {
+				case dedupDone:
+					// Transaction finished; re-serve the cached reply
+					// (the original may have been lost).
+					r.st.CachedReplies.Add(1)
+					cp := *cached
+					_ = r.Send(&cp)
+				case dedupForwarded:
+					// We relayed this request; re-send the recorded
+					// relay copy and let its table take over.
+					cp := *fwd
+					_ = r.ep.Send(&cp)
+				}
+				// Inflight: the first copy's handler will reply.
+				continue
+			}
 		}
 		h := r.handlers[m.Kind]
 		if h == nil {
@@ -192,12 +309,49 @@ func (r *Runtime) dispatch() {
 	}
 }
 
-// StrayReplies reports replies that arrived after their caller gave
-// up (possible with broadcast-mode retries); useful in tests.
-func (r *Runtime) StrayReplies() int64 {
-	r.strayMu.Lock()
-	defer r.strayMu.Unlock()
-	return r.strayReplies
+// StrayReplies reports replies that matched no call this node ever
+// made — a protocol bug if it happens outside broadcast mode.
+// Replies that arrive after their caller completed or gave up are
+// counted separately as LateReplies (expected under retransmission).
+func (r *Runtime) StrayReplies() int64 { return r.st.StrayReplies.Load() }
+
+// LateReplies reports duplicate or post-timeout replies discarded
+// for calls this node did make.
+func (r *Runtime) LateReplies() int64 { return r.st.LateReplies.Load() }
+
+// Dispatched reports how many messages this node's dispatch loop has
+// processed; the cluster watchdog uses it as a progress signal.
+func (r *Runtime) Dispatched() int64 { return r.dispatched.Load() }
+
+// PendingCalls snapshots the in-flight requests (and awaited
+// tokens), oldest first, for the watchdog's stall dump.
+func (r *Runtime) PendingCalls() []PendingCall {
+	r.pendMu.Lock()
+	out := make([]PendingCall, 0, len(r.pending))
+	for req, pc := range r.pending {
+		out = append(out, PendingCall{Req: req, Kind: pc.kind, To: pc.to, Since: pc.since})
+	}
+	r.pendMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Since.Before(out[j].Since) })
+	return out
+}
+
+// DumpPending renders the in-flight requests for diagnostics.
+func (r *Runtime) DumpPending() string {
+	calls := r.PendingCalls()
+	if len(calls) == 0 {
+		return fmt.Sprintf("node %d: no pending calls", r.id)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d: %d pending:", r.id, len(calls))
+	for _, c := range calls {
+		if c.To < 0 {
+			fmt.Fprintf(&b, " [token %x age=%v]", c.Req, time.Since(c.Since).Round(time.Millisecond))
+		} else {
+			fmt.Fprintf(&b, " [%v to %d req=%x age=%v]", c.Kind, c.To, c.Req, time.Since(c.Since).Round(time.Millisecond))
+		}
+	}
+	return b.String()
 }
 
 // NewReq allocates a globally unique request id.
@@ -210,32 +364,47 @@ func (r *Runtime) NewReq() uint64 {
 }
 
 // register creates the reply slot for req.
-func (r *Runtime) register(req uint64) chan *wire.Msg {
+func (r *Runtime) register(req uint64, kind wire.Kind, to simnet.NodeID) chan *wire.Msg {
 	ch := make(chan *wire.Msg, 1)
 	r.pendMu.Lock()
-	r.pending[req] = ch
+	r.pending[req] = &pendingCall{ch: ch, kind: kind, to: to, since: time.Now()}
 	r.pendMu.Unlock()
 	return ch
 }
 
+// unregister abandons a pending call; replies that turn up later are
+// classified as late duplicates rather than strays.
 func (r *Runtime) unregister(req uint64) {
 	r.pendMu.Lock()
 	delete(r.pending, req)
 	r.pendMu.Unlock()
+	r.completed.add(req)
 }
 
 // Send stamps the message with this node as origin and transmits it.
+// Under reliability, outgoing replies are recorded in the dedup
+// table so a retransmitted request can be answered from cache.
 func (r *Runtime) Send(m *wire.Msg) error {
 	m.From = r.id
+	if r.reliable && m.Req != 0 && m.Kind.IsReply() {
+		cp := *m
+		r.dedup.completed(m.To, m.Req, &cp)
+	}
 	return r.ep.Send(m)
 }
 
 // Forward retransmits m to a new destination, preserving the
 // original From and Req so the eventual replier answers the origin
-// directly. Used by manager relays and probable-owner chains.
+// directly. Used by manager relays and probable-owner chains. Under
+// reliability the relay is recorded so a duplicate of the original
+// request is re-relayed instead of dropped.
 func (r *Runtime) Forward(m *wire.Msg, to simnet.NodeID) error {
 	fwd := *m
 	fwd.To = to
+	if r.reliable && m.Req != 0 && !m.Kind.IsReply() {
+		cp := fwd
+		r.dedup.forwarded(m.From, m.Req, &cp)
+	}
 	r.st.Forwards.Add(1)
 	return r.ep.Send(&fwd)
 }
@@ -245,10 +414,16 @@ func (r *Runtime) Call(m *wire.Msg) (*wire.Msg, error) {
 	return r.CallT(m, r.callTimeout)
 }
 
-// CallT is Call with an explicit timeout.
+// CallT is Call with an explicit overall timeout. With reliability
+// enabled the request is retransmitted on per-attempt timeouts
+// (capped exponential backoff, deterministic jitter, bounded
+// attempts); the receive-side dedup table makes retransmission safe.
 func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
+	if r.reliable {
+		return r.callRetry(m, timeout)
+	}
 	m.Req = r.NewReq()
-	ch := r.register(m.Req)
+	ch := r.register(m.Req, m.Kind, m.To)
 	if err := r.Send(m); err != nil {
 		r.unregister(m.Req)
 		return nil, err
@@ -266,6 +441,82 @@ func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 		r.unregister(m.Req)
 		return nil, fmt.Errorf("nodecore: node %d: shutdown while waiting for %v reply", r.id, m.Kind)
 	}
+}
+
+// callRetry is the reliable Call path: send, wait one backoff
+// window, retransmit, until a reply arrives or the overall deadline
+// runs out. The reply slot is registered once — every transmission
+// shares the request id, which is what lets the receiver
+// deduplicate. MaxAttempts bounds transmissions, not the wait: once
+// attempts are spent, the call waits out the remaining deadline
+// (locks, barriers, and events legitimately reply much later than
+// any loss-recovery window, and their retransmits are cheaply
+// suppressed as duplicates in the meantime).
+func (r *Runtime) callRetry(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
+	m.Req = r.NewReq()
+	ch := r.register(m.Req, m.Kind, m.To)
+	deadline := time.Now().Add(timeout)
+	wait := r.retry.AttemptTimeout
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			r.st.Retries.Add(1)
+		}
+		a := attempt
+		if a > 255 {
+			a = 255
+		}
+		m.Attempt = uint8(a)
+		if err := r.Send(m); err != nil {
+			r.unregister(m.Req)
+			return nil, err
+		}
+		var w time.Duration
+		if attempt+1 >= r.retry.MaxAttempts {
+			// Last transmission: wait out the rest of the deadline.
+			w = time.Until(deadline)
+		} else {
+			// Deterministic +/-25% jitter desynchronizes retry storms.
+			r.retryMu.Lock()
+			jit := time.Duration(int64(xorshift64(&r.retryRng) % uint64(wait/2+1)))
+			r.retryMu.Unlock()
+			w = wait - wait/4 + jit
+			if rem := time.Until(deadline); w > rem {
+				w = rem
+			}
+		}
+		if w < time.Millisecond {
+			w = time.Millisecond
+		}
+		timer := time.NewTimer(w)
+		select {
+		case reply := <-ch:
+			timer.Stop()
+			return reply, nil
+		case <-r.done:
+			timer.Stop()
+			r.unregister(m.Req)
+			return nil, fmt.Errorf("nodecore: node %d: shutdown while waiting for %v reply", r.id, m.Kind)
+		case <-timer.C:
+		}
+		if attempt+1 >= r.retry.MaxAttempts || !time.Now().Before(deadline) {
+			r.unregister(m.Req)
+			return nil, fmt.Errorf("nodecore: node %d: %v to %d (page %d, lock %d) timed out after %v and %d attempts",
+				r.id, m.Kind, m.To, m.Page, m.Lock, timeout, attempt+1)
+		}
+		wait *= 2
+		if wait > r.retry.BackoffCap {
+			wait = r.retry.BackoffCap
+		}
+	}
+}
+
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
 }
 
 // Reply answers a request: it copies the request id and addresses the
@@ -291,7 +542,7 @@ func (r *Runtime) Ack(req *wire.Msg) error {
 // requester-confirmation step that ends page transactions.
 func (r *Runtime) NewToken() (uint64, chan *wire.Msg) {
 	tok := r.NewReq()
-	return tok, r.register(tok)
+	return tok, r.register(tok, wire.KAck, -1)
 }
 
 // AwaitToken blocks until the token is released or timeout.
@@ -310,8 +561,16 @@ func (r *Runtime) AwaitToken(tok uint64, ch chan *wire.Msg, timeout time.Duratio
 	}
 }
 
-// ReleaseToken notifies a remote waiter: an ack addressed by token.
+// ReleaseToken notifies a remote waiter. Fault-free mode sends a
+// bare one-way ack addressed by token — losing it would strand the
+// waiter's transaction, so reliable mode upgrades the notification
+// to a retried KConfirm request, acknowledged by the waiter's
+// runtime (handleConfirm) once the token is delivered.
 func (r *Runtime) ReleaseToken(to simnet.NodeID, tok uint64) error {
+	if r.reliable {
+		_, err := r.Call(&wire.Msg{Kind: wire.KConfirm, To: to, Arg: tok})
+		return err
+	}
 	return r.Send(&wire.Msg{Kind: wire.KAck, To: to, Req: tok})
 }
 

@@ -11,6 +11,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -57,8 +58,91 @@ type Config struct {
 	// InboxDepth bounds each node's incoming queue; senders block
 	// (backpressure) when a receiver falls behind. Default 4096.
 	InboxDepth int
+	// Faults, if non-nil, enables probabilistic fault injection on
+	// every directed pair: message drops, duplication, and latency
+	// spikes, all deterministically derived from Seed. Transient
+	// partitions and endpoint stalls are injected at runtime with
+	// Net.Partition and Net.StallNode. Self-addressed messages are
+	// never faulted.
+	Faults *FaultPlan
 	// Trace, if non-nil, is invoked synchronously at each delivery.
 	Trace func(m *wire.Msg)
+}
+
+// FaultPlan describes the probabilistic faults applied to each
+// directed node pair. Probabilities are per message, in [0, 1].
+type FaultPlan struct {
+	// DropProb is the probability a message is silently discarded.
+	DropProb float64
+	// DupProb is the probability a message is delivered twice.
+	DupProb float64
+	// SpikeProb is the probability a message's delivery is delayed by
+	// an extra Spike (a latency spike); Spike must be >= 0.
+	SpikeProb float64
+	Spike     time.Duration
+}
+
+// Validate reports whether the plan's parameters are in range.
+func (fp *FaultPlan) Validate() error {
+	check := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("simnet: FaultPlan.%s = %v out of range [0, 1]", name, p)
+		}
+		return nil
+	}
+	if err := check("DropProb", fp.DropProb); err != nil {
+		return err
+	}
+	if err := check("DupProb", fp.DupProb); err != nil {
+		return err
+	}
+	if err := check("SpikeProb", fp.SpikeProb); err != nil {
+		return err
+	}
+	if fp.Spike < 0 {
+		return fmt.Errorf("simnet: FaultPlan.Spike = %v is negative", fp.Spike)
+	}
+	return nil
+}
+
+// Validate rejects configurations that would silently misbehave.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("simnet: need at least 1 node, got %d", c.Nodes)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("simnet: Config.Jitter = %v is negative", c.Jitter)
+	}
+	if c.RecvOccupancy < 0 {
+		return fmt.Errorf("simnet: Config.RecvOccupancy = %v is negative", c.RecvOccupancy)
+	}
+	if c.InboxDepth < 0 {
+		return fmt.Errorf("simnet: Config.InboxDepth = %d is negative", c.InboxDepth)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultStats counts network-level fault events. All fields are
+// updated atomically and stay zero on a fault-free network.
+type FaultStats struct {
+	Dropped          atomic.Int64 // messages discarded (drop prob or partition)
+	Duplicated       atomic.Int64 // messages delivered twice
+	Spikes           atomic.Int64 // latency spikes applied
+	PartitionsOpened atomic.Int64
+	PartitionsHealed atomic.Int64
+	Stalls           atomic.Int64 // endpoint stalls injected
+}
+
+// String renders the non-zero fault counters.
+func (f *FaultStats) String() string {
+	return fmt.Sprintf("dropped=%d duplicated=%d spikes=%d partitions_opened=%d partitions_healed=%d stalls=%d",
+		f.Dropped.Load(), f.Duplicated.Load(), f.Spikes.Load(),
+		f.PartitionsOpened.Load(), f.PartitionsHealed.Load(), f.Stalls.Load())
 }
 
 // Net is the simulated network.
@@ -67,23 +151,25 @@ type Net struct {
 	eps    []*Endpoint
 	queues []*dqueue
 	pairs  [][]pairState
+	faults FaultStats
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
 type pairState struct {
-	mu   sync.Mutex
-	last time.Time
-	rng  uint64 // xorshift state for jitter
+	mu           sync.Mutex
+	last         time.Time
+	rng          uint64    // xorshift state for jitter and fault draws
+	blockedUntil time.Time // transient partition: drop until this instant
 }
 
 // New builds a network with n fully connected nodes.
 func New(cfg Config) (*Net, error) {
-	if cfg.Nodes <= 0 {
-		return nil, fmt.Errorf("simnet: need at least 1 node, got %d", cfg.Nodes)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.InboxDepth <= 0 {
+	if cfg.InboxDepth == 0 {
 		cfg.InboxDepth = 4096
 	}
 	n := cfg.Nodes
@@ -122,6 +208,49 @@ func (n *Net) Endpoint(id NodeID) *Endpoint {
 
 // Nodes returns the node count.
 func (n *Net) Nodes() int { return n.cfg.Nodes }
+
+// Faults returns the network's fault counters.
+func (n *Net) Faults() *FaultStats { return &n.faults }
+
+// Partition severs the link between a and b in both directions for
+// d: messages on the pair are dropped until the partition heals.
+// Overlapping partitions extend each other (the later heal time
+// wins). Invalid node ids and non-positive durations are no-ops.
+func (n *Net) Partition(a, b NodeID, d time.Duration) {
+	if a < 0 || b < 0 || int(a) >= n.cfg.Nodes || int(b) >= n.cfg.Nodes || a == b || d <= 0 {
+		return
+	}
+	until := time.Now().Add(d)
+	for _, pair := range []*pairState{&n.pairs[a][b], &n.pairs[b][a]} {
+		pair.mu.Lock()
+		if until.After(pair.blockedUntil) {
+			pair.blockedUntil = until
+		}
+		pair.mu.Unlock()
+	}
+	n.faults.PartitionsOpened.Add(1)
+	go func() {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			n.faults.PartitionsHealed.Add(1)
+		case <-n.closed:
+		}
+	}()
+}
+
+// StallNode freezes node id's receive processing for d: messages
+// addressed to it queue up and are delivered only after the stall
+// ends, modelling a paused or overloaded endpoint. Overlapping
+// stalls extend each other.
+func (n *Net) StallNode(id NodeID, d time.Duration) {
+	if id < 0 || int(id) >= n.cfg.Nodes || d <= 0 {
+		return
+	}
+	n.queues[id].stall(time.Now().Add(d))
+	n.faults.Stalls.Add(1)
+}
 
 // Close shuts the network down. Messages still in flight are
 // discarded; subsequent sends are dropped. Receive channels are
@@ -182,16 +311,43 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 		e.st.BytesSent.Add(int64(len(raw)))
 	}
 	var at time.Time
+	duplicate := false
 	pair := &e.net.pairs[e.id][to]
 	pair.mu.Lock()
 	now := time.Now()
 	delay := time.Duration(0)
 	if to != e.id {
+		if !pair.blockedUntil.IsZero() && now.Before(pair.blockedUntil) {
+			// Transient partition: the link is down in this direction.
+			pair.mu.Unlock()
+			e.net.faults.Dropped.Add(1)
+			if e.st != nil {
+				e.st.MsgsDropped.Add(1)
+			}
+			return nil
+		}
 		if lat := e.net.cfg.Latency; lat != nil {
 			delay += lat(e.id, to, len(raw))
 		}
 		if j := e.net.cfg.Jitter; j > 0 {
 			delay += time.Duration(xorshift(&pair.rng) % uint64(j))
+		}
+		if fp := e.net.cfg.Faults; fp != nil {
+			if fp.DropProb > 0 && probDraw(&pair.rng) < fp.DropProb {
+				pair.mu.Unlock()
+				e.net.faults.Dropped.Add(1)
+				if e.st != nil {
+					e.st.MsgsDropped.Add(1)
+				}
+				return nil
+			}
+			if fp.SpikeProb > 0 && probDraw(&pair.rng) < fp.SpikeProb {
+				delay += fp.Spike
+				e.net.faults.Spikes.Add(1)
+			}
+			if fp.DupProb > 0 && probDraw(&pair.rng) < fp.DupProb {
+				duplicate = true
+			}
 		}
 	}
 	at = now.Add(delay)
@@ -202,7 +358,21 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 	pair.mu.Unlock()
 
 	e.net.queues[to].push(at, raw, to == e.id)
+	if duplicate {
+		// The copy arrives immediately after the original (same due
+		// time, later heap sequence), preserving per-pair FIFO order.
+		e.net.faults.Duplicated.Add(1)
+		if e.st != nil {
+			e.st.MsgsDuplicated.Add(1)
+		}
+		e.net.queues[to].push(at, raw, false)
+	}
 	return nil
+}
+
+// probDraw converts one xorshift step into a uniform float in [0, 1).
+func probDraw(s *uint64) float64 {
+	return float64(xorshift(s)>>11) / float64(1<<53)
 }
 
 func xorshift(s *uint64) uint64 {
@@ -221,12 +391,13 @@ type dqueue struct {
 	ep    *Endpoint
 	trace func(*wire.Msg)
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	items   itemHeap
-	seq     uint64
-	stopped bool
-	freeAt  time.Time // receiver occupancy: next instant a message may complete
+	mu         sync.Mutex
+	cond       *sync.Cond
+	items      itemHeap
+	seq        uint64
+	stopped    bool
+	freeAt     time.Time // receiver occupancy: next instant a message may complete
+	stallUntil time.Time // endpoint stall: nothing delivers before this instant
 }
 
 type item struct {
@@ -261,6 +432,14 @@ func (q *dqueue) stop() {
 	q.mu.Unlock()
 }
 
+func (q *dqueue) stall(until time.Time) {
+	q.mu.Lock()
+	if until.After(q.stallUntil) {
+		q.stallUntil = until
+	}
+	q.mu.Unlock()
+}
+
 func (q *dqueue) run() {
 	for {
 		q.mu.Lock()
@@ -274,6 +453,10 @@ func (q *dqueue) run() {
 		}
 		it := q.items[0]
 		due := it.at
+		if q.stallUntil.After(due) {
+			// A stalled endpoint processes nothing until it resumes.
+			due = q.stallUntil
+		}
 		if occ := q.ep.net.cfg.RecvOccupancy; occ > 0 && !it.self {
 			// The endpoint processes serially: this message completes
 			// one occupancy period after both its arrival and the

@@ -30,6 +30,15 @@ type Node struct {
 	MsgsRecv  atomic.Int64
 	BytesRecv atomic.Int64
 
+	// Fault injection and recovery (all zero on a fault-free network).
+	MsgsDropped    atomic.Int64 // messages this node sent that the network dropped
+	MsgsDuplicated atomic.Int64 // messages this node sent that the network duplicated
+	Retries        atomic.Int64 // request retransmissions issued by this node
+	DupRequests    atomic.Int64 // duplicate requests suppressed by the dedup table
+	CachedReplies  atomic.Int64 // replies re-sent from the dedup cache
+	LateReplies    atomic.Int64 // duplicate/late replies discarded (expected under retry)
+	StrayReplies   atomic.Int64 // replies with no matching call ever made (protocol bug)
+
 	// Coherence-protocol actions.
 	Invalidations     atomic.Int64 // invalidation requests served by this node
 	Forwards          atomic.Int64 // requests forwarded along owner chains
@@ -57,6 +66,9 @@ type Snapshot struct {
 	Reads, Writes                            int64
 	ReadFaults, WriteFaults                  int64
 	MsgsSent, BytesSent, MsgsRecv, BytesRecv int64
+	MsgsDropped, MsgsDuplicated              int64
+	Retries, DupRequests, CachedReplies      int64
+	LateReplies, StrayReplies                int64
 	Invalidations, Forwards, PageTransfers   int64
 	UpdatesApplied, TwinCopies               int64
 	DiffsCreated, DiffBytes, DiffFetches     int64
@@ -79,6 +91,13 @@ func (n *Node) Snapshot() Snapshot {
 		BytesSent:         n.BytesSent.Load(),
 		MsgsRecv:          n.MsgsRecv.Load(),
 		BytesRecv:         n.BytesRecv.Load(),
+		MsgsDropped:       n.MsgsDropped.Load(),
+		MsgsDuplicated:    n.MsgsDuplicated.Load(),
+		Retries:           n.Retries.Load(),
+		DupRequests:       n.DupRequests.Load(),
+		CachedReplies:     n.CachedReplies.Load(),
+		LateReplies:       n.LateReplies.Load(),
+		StrayReplies:      n.StrayReplies.Load(),
 		Invalidations:     n.Invalidations.Load(),
 		Forwards:          n.Forwards.Load(),
 		PageTransfers:     n.PageTransfers.Load(),
@@ -109,6 +128,13 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		BytesSent:         s.BytesSent + o.BytesSent,
 		MsgsRecv:          s.MsgsRecv + o.MsgsRecv,
 		BytesRecv:         s.BytesRecv + o.BytesRecv,
+		MsgsDropped:       s.MsgsDropped + o.MsgsDropped,
+		MsgsDuplicated:    s.MsgsDuplicated + o.MsgsDuplicated,
+		Retries:           s.Retries + o.Retries,
+		DupRequests:       s.DupRequests + o.DupRequests,
+		CachedReplies:     s.CachedReplies + o.CachedReplies,
+		LateReplies:       s.LateReplies + o.LateReplies,
+		StrayReplies:      s.StrayReplies + o.StrayReplies,
 		Invalidations:     s.Invalidations + o.Invalidations,
 		Forwards:          s.Forwards + o.Forwards,
 		PageTransfers:     s.PageTransfers + o.PageTransfers,
@@ -153,6 +179,13 @@ func (s Snapshot) Fields() []Field {
 		{"bytes_sent", s.BytesSent},
 		{"msgs_recv", s.MsgsRecv},
 		{"bytes_recv", s.BytesRecv},
+		{"msgs_dropped", s.MsgsDropped},
+		{"msgs_duplicated", s.MsgsDuplicated},
+		{"retries", s.Retries},
+		{"dup_requests", s.DupRequests},
+		{"cached_replies", s.CachedReplies},
+		{"late_replies", s.LateReplies},
+		{"stray_replies", s.StrayReplies},
 		{"invalidations", s.Invalidations},
 		{"forwards", s.Forwards},
 		{"page_transfers", s.PageTransfers},

@@ -55,6 +55,8 @@ func TestFieldsCoverEveryCounter(t *testing.T) {
 	one := Snapshot{
 		Reads: 1, Writes: 1, ReadFaults: 1, WriteFaults: 1,
 		MsgsSent: 1, BytesSent: 1, MsgsRecv: 1, BytesRecv: 1,
+		MsgsDropped: 1, MsgsDuplicated: 1, Retries: 1,
+		DupRequests: 1, CachedReplies: 1, LateReplies: 1, StrayReplies: 1,
 		Invalidations: 1, Forwards: 1, PageTransfers: 1,
 		UpdatesApplied: 1, TwinCopies: 1, DiffsCreated: 1,
 		DiffBytes: 1, DiffFetches: 1, WriteNotices: 1,
