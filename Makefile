@@ -2,19 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench chaos experiments examples fmt vet clean
+.PHONY: all build test race short bench chaos tcp-smoke experiments examples fmt vet clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-# Default test gate: vet, the full suite, and the chaos/reliability
-# packages again under the race detector (their concurrency is the
-# newest and the most delicate).
-test: vet
+# Default test gate: vet, the full suite, the chaos/reliability and
+# transport packages again under the race detector (their concurrency
+# is the newest and the most delicate), and the multi-process TCP
+# smoke run.
+test: vet tcp-smoke
 	$(GO) test ./... -timeout 1200s
-	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet
+	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster
 
 short:
 	$(GO) test ./... -short -timeout 600s
@@ -28,6 +29,14 @@ bench:
 # Run the fault-injection correctness matrix under the race detector.
 chaos:
 	$(GO) test -race -run TestChaos -v -timeout 900s ./internal/chaos
+
+# Multi-process smoke run: a 3-process cluster over TCP loopback
+# computes SOR under sequential and lazy release consistency; node 0
+# diffs the shared result against the sequential reference
+# (verify=ok, or the run exits nonzero).
+tcp-smoke:
+	$(GO) run ./cmd/dsmrun -transport tcp -nodes 3 -app sor -proto sc-fixed
+	$(GO) run ./cmd/dsmrun -transport tcp -nodes 3 -app sor -proto lrc
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

@@ -6,18 +6,33 @@
 //
 //	dsmrun -app sor -proto lrc -nodes 8 -page 1024
 //	dsmrun -app sor -proto sc-fixed -chaos       # under fault injection
+//	dsmrun -transport tcp -nodes 3 -app sor      # multi-process demo
+//	dsmrun -transport tcp -node 1 -peers h0:p0,h1:p1,h2:p2 -app sor
 //	dsmrun -list
+//
+// With -transport tcp each DSM node is its own OS process talking
+// over real sockets. Give every process the same -app/-proto/-page
+// flags and the full -peers list (its own address included, in node
+// id order), and its node id via -node. Omitting -node (or passing
+// -1) makes dsmrun spawn the whole cluster itself on loopback — the
+// one-command demo.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/exec"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/stats"
 )
@@ -42,17 +57,26 @@ func workloads(scale apps.Scale) map[string]apps.App {
 	return m
 }
 
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsmrun: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func main() {
 	appName := flag.String("app", "sor", "workload (see -list)")
 	protoName := flag.String("proto", "lrc", "protocol (see -list)")
 	nodes := flag.Int("nodes", 4, "cluster size")
 	page := flag.Int("page", 1024, "page size in bytes")
-	latency := flag.Duration("latency", 0, "per-message network latency")
-	perByte := flag.Duration("perbyte", 0, "per-byte network cost")
+	latency := flag.Duration("latency", 0, "per-message network latency (simulator only)")
+	perByte := flag.Duration("perbyte", 0, "per-byte network cost (simulator only)")
 	advise := flag.Bool("advise", false, "classify per-page sharing patterns (Munin-style)")
 	medium := flag.Bool("medium", false, "use benchmark-scale workload sizes")
-	chaosOn := flag.Bool("chaos", false, "inject network faults (drops, duplicates, partitions, stalls)")
+	chaosOn := flag.Bool("chaos", false, "inject network faults (drops, duplicates, partitions, stalls; simulator only)")
 	seed := flag.Int64("seed", 1, "seed for jitter and fault injection")
+	transportName := flag.String("transport", "sim", "message transport: sim (in-process simulator) or tcp (one OS process per node)")
+	nodeID := flag.Int("node", -1, "with -transport tcp: this process's node id; -1 spawns the whole cluster on loopback")
+	peers := flag.String("peers", "", "with -transport tcp: comma-separated host:port of every node, in id order")
+	listenFD := flag.Uint("listen-fd", 0, "inherited listener file descriptor (set by the loopback demo for its children)")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	flag.Parse()
 
@@ -69,36 +93,57 @@ func main() {
 		for name := range protocols() {
 			fmt.Printf("%s ", name)
 		}
-		fmt.Println()
+		fmt.Println("\ntransports: sim tcp")
 		return
 	}
 	app, ok := workloads(scale)[*appName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dsmrun: unknown app %q (try -list)\n", *appName)
-		os.Exit(2)
+		fatal("unknown app %q (try -list)", *appName)
 	}
 	proto, ok := protocols()[*protoName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "dsmrun: unknown protocol %q (try -list)\n", *protoName)
-		os.Exit(2)
+		fatal("unknown protocol %q (try -list)", *protoName)
 	}
 	if (proto == core.EC || proto == core.ECDiff) && !app.LocksOnly() {
-		fmt.Fprintf(os.Stderr, "dsmrun: %s is not lock-only; entry consistency requires bound data\n", app.Name())
-		os.Exit(2)
+		fatal("%s is not lock-only; entry consistency requires bound data", app.Name())
 	}
+
+	switch *transportName {
+	case "sim":
+		runSim(app, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed)
+	case "tcp":
+		if *chaosOn {
+			fatal("-chaos is simulator-only (a real network brings its own faults)")
+		}
+		if *latency != 0 || *perByte != 0 {
+			fatal("-latency/-perbyte model the simulator; the real network has real latency")
+		}
+		if *nodeID >= 0 {
+			runTCPNode(app, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD)
+		} else {
+			runTCPDemo(*nodes, *peers)
+		}
+	default:
+		fatal("unknown transport %q (sim or tcp)", *transportName)
+	}
+}
+
+// runSim is the classic mode: the whole cluster in this process over
+// the simulated network.
+func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64) {
 	cfg := core.Config{
-		Nodes:     *nodes,
+		Nodes:     nodes,
 		Protocol:  proto,
-		PageSize:  *page,
+		PageSize:  page,
 		HeapBytes: 1 << 22,
-		Latency:   *latency,
-		PerByte:   *perByte,
-		Advise:    *advise,
-		Seed:      *seed,
+		Latency:   latency,
+		PerByte:   perByte,
+		Advise:    advise,
+		Seed:      seed,
 	}
 	var plan chaos.Plan
-	if *chaosOn {
-		plan = chaos.DefaultPlan(*nodes, *seed)
+	if chaosOn {
+		plan = chaos.DefaultPlan(nodes, seed)
 		faults := plan.Faults
 		cfg.Faults = &faults
 		cfg.Retry = chaos.Retry()
@@ -106,16 +151,14 @@ func main() {
 	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	defer c.Close()
 	if err := app.Setup(c); err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun: setup:", err)
-		os.Exit(1)
+		fatal("setup: %v", err)
 	}
 	var inj *chaos.Injector
-	if *chaosOn {
+	if chaosOn {
 		inj = plan.Start(c)
 	}
 	start := time.Now()
@@ -124,24 +167,150 @@ func main() {
 		inj.Stop()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun: run:", err)
-		os.Exit(1)
+		fatal("run: %v", err)
 	}
 	elapsed := time.Since(start)
 	verdict := "ok"
 	if err := app.Verify(c); err != nil {
 		verdict = err.Error()
 	}
-	fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n\n",
-		app.Name(), proto, *nodes, *page, elapsed.Round(time.Microsecond), verdict)
+	fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n",
+		app.Name(), proto, nodes, page, elapsed.Round(time.Microsecond), verdict)
+	fmt.Printf("transport=%s %v\n\n", c.TransportName(), c.TransportCounters())
 	fmt.Print(stats.PerNodeReport(c.Stats()))
-	if *chaosOn {
+	if chaosOn {
 		fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
 	}
 	if adv := c.Advisor(); adv != nil {
 		fmt.Printf("\nsharing-pattern classification (Munin-style):\n%s", adv.Report())
 	}
 	if verdict != "ok" {
+		os.Exit(1)
+	}
+}
+
+// runTCPNode hosts one node of a multi-process cluster.
+func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint) {
+	if peers == "" {
+		fatal("-transport tcp -node %d needs -peers host:port,... for every node", self)
+	}
+	addrs := strings.Split(peers, ",")
+	if self >= len(addrs) {
+		fatal("-node %d out of range: %d peers listed", self, len(addrs))
+	}
+	var ln net.Listener
+	if listenFD > 0 {
+		var err error
+		if ln, err = cluster.FileListener(uintptr(listenFD), "dsmrun-listener"); err != nil {
+			fatal("inherited listener: %v", err)
+		}
+	}
+	cfg := core.Config{
+		Nodes:           len(addrs),
+		Protocol:        proto,
+		PageSize:        page,
+		HeapBytes:       1 << 22,
+		Advise:          advise,
+		Seed:            seed,
+		WatchdogTimeout: 30 * time.Second,
+	}
+	start := time.Now()
+	res, err := cluster.RunNode(cluster.NodeOpts{
+		Cfg:      cfg,
+		App:      app,
+		Self:     self,
+		Addrs:    addrs,
+		Listener: ln,
+		Verify:   self == 0, // node 0 checks against the sequential reference
+	})
+	if err != nil {
+		fatal("node %d: %v", self, err)
+	}
+	if self == 0 {
+		fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=ok\n",
+			app.Name(), proto, len(addrs), page, res.Elapsed.Round(time.Microsecond))
+		if res.HasChecksum {
+			fmt.Printf("checksum=%016x\n", res.Checksum)
+		}
+	}
+	fmt.Printf("node %d: transport=tcp %v total=%v\n", self, res.Net, time.Since(start).Round(time.Millisecond))
+	fmt.Print(stats.PerNodeReport([]stats.Snapshot{res.Stats}))
+}
+
+// prefixWriter labels each child's output lines with its node id so
+// the demo's interleaved streams stay readable.
+type prefixWriter struct {
+	mu     *sync.Mutex
+	prefix string
+	buf    bytes.Buffer
+}
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			w.buf.WriteString(line) // incomplete line: keep for later
+			break
+		}
+		fmt.Printf("%s%s", w.prefix, line)
+	}
+	return len(p), nil
+}
+
+// runTCPDemo spawns the whole cluster as child dsmrun processes on
+// loopback: it pre-binds every node's port (no races, no fixed port
+// list) and hands each child its listener as an inherited fd.
+func runTCPDemo(nodes int, peers string) {
+	if peers != "" {
+		fatal("either -node i -peers ... (join a cluster) or neither (spawn one locally)")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal("%v", err)
+	}
+	lns := make([]net.Listener, nodes)
+	addrs := make([]string, nodes)
+	for i := range lns {
+		if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			fatal("%v", err)
+		}
+		addrs[i] = lns[i].Addr().String()
+	}
+	fmt.Printf("spawning %d node processes on %s\n", nodes, strings.Join(addrs, " "))
+	args := append([]string{}, os.Args[1:]...)
+	var mu sync.Mutex
+	cmds := make([]*exec.Cmd, nodes)
+	for i := range cmds {
+		f, err := cluster.ListenerFile(lns[i])
+		if err != nil {
+			fatal("%v", err)
+		}
+		cmd := exec.Command(exe, append(append([]string{}, args...),
+			"-node", strconv.Itoa(i),
+			"-peers", strings.Join(addrs, ","),
+			"-listen-fd", "3")...)
+		cmd.ExtraFiles = []*os.File{f}
+		w := &prefixWriter{mu: &mu, prefix: fmt.Sprintf("[node %d] ", i)}
+		cmd.Stdout = w
+		cmd.Stderr = w
+		if err := cmd.Start(); err != nil {
+			fatal("spawn node %d: %v", i, err)
+		}
+		f.Close()
+		lns[i].Close()
+		cmds[i] = cmd
+	}
+	failed := false
+	for i, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "dsmrun: node %d: %v\n", i, err)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

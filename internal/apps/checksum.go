@@ -1,0 +1,53 @@
+package apps
+
+import (
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// Checker is implemented by workloads whose shared result is a
+// deterministic function of their configuration — bit-exact across
+// runs, schedules, and transports. The multi-process cluster tests
+// use it to assert that a real TCP cluster computes byte-identical
+// results to the simulator.
+type Checker interface {
+	App
+	// Checksum hashes the shared result, reading it through node n
+	// while honouring the consistency model's access rules (the same
+	// discipline Verify uses). Call it only after Run has finished.
+	Checksum(n *core.Node) (uint64, error)
+}
+
+// hashSharedRange reads [addr, addr+size) through n and returns its
+// FNV-1a hash.
+func hashSharedRange(n *core.Node, addr int64, size int64) (uint64, error) {
+	buf := make([]byte, size)
+	if err := n.ReadAt(addr, buf); err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum64(), nil
+}
+
+// Checksum implements Checker: the relaxed grid after the final
+// barrier.
+func (a *SOR) Checksum(n *core.Node) (uint64, error) {
+	return hashSharedRange(n, a.grid, int64(a.rows)*int64(a.cols)*8)
+}
+
+// Checksum implements Checker: the product matrix C.
+func (m *MatMul) Checksum(n *core.Node) (uint64, error) {
+	return hashSharedRange(n, m.c, int64(m.n)*int64(m.n)*8)
+}
+
+// Checksum implements Checker: the result slots, read under the
+// queue lock as entry consistency requires for bound data.
+func (a *TaskQueue) Checksum(n *core.Node) (uint64, error) {
+	if err := n.Acquire(tqLock); err != nil {
+		return 0, err
+	}
+	defer func() { _ = n.Release(tqLock) }()
+	return hashSharedRange(n, a.results, int64(a.tasks)*8)
+}

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: it runs workloads on
 // configured clusters, collects wall time and protocol counters, and
 // formats the tables and curve series that regenerate every
-// experiment in EXPERIMENTS.md (E2..E10). cmd/dsmbench is the CLI
+// experiment in EXPERIMENTS.md (E2..E11). cmd/dsmbench is the CLI
 // front end; bench_test.go wires the same experiments into
 // testing.B.
 package bench
@@ -77,6 +77,7 @@ func All() []Experiment {
 		{"e8", "Entry consistency: data piggybacked on locks", "Midway, CMU-CS-91-170", E8Entry},
 		{"e9", "Synchronization service: locks and barriers", "queue-lock / barrier literature", E9Sync},
 		{"e10", "Twin/diff ablation vs whole-page transfer", "TreadMarks diff studies", E10Diff},
+		{"e11", "Simulator vs real TCP loopback: identical results, measured wire overhead", "transport-independence check", E11Transport},
 	}
 }
 

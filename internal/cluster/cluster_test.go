@@ -1,0 +1,349 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// ---------------------------------------------------------------
+// Child-process mode: when REPRO_CLUSTER_CHILD is set, the test
+// binary is one node of a multi-process cluster instead of a test
+// runner. The parent passes the node's pre-bound listener as fd 3.
+// ---------------------------------------------------------------
+
+func TestMain(m *testing.M) {
+	if os.Getenv("REPRO_CLUSTER_CHILD") != "" {
+		runChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// childApp maps the names the parent sends to fresh workload
+// instances; every process must build identical parameters.
+func childApp(name string) apps.App {
+	switch name {
+	case "sor":
+		return apps.NewSOR(24, 16, 6)
+	case "sor-long":
+		return apps.NewSOR(24, 16, 600)
+	case "matmul":
+		return apps.NewMatMul(24)
+	case "taskqueue":
+		return apps.NewTaskQueue(40, 200)
+	}
+	return nil
+}
+
+func childProto(name string) (core.Protocol, bool) {
+	for _, p := range core.Protocols() {
+		if p.String() == name {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+func runChild() {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "child: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	self, err := strconv.Atoi(os.Getenv("REPRO_CLUSTER_CHILD"))
+	if err != nil {
+		fail("bad node id: %v", err)
+	}
+	addrs := strings.Split(os.Getenv("REPRO_CLUSTER_ADDRS"), ",")
+	app := childApp(os.Getenv("REPRO_CLUSTER_APP"))
+	if app == nil {
+		fail("unknown app %q", os.Getenv("REPRO_CLUSTER_APP"))
+	}
+	proto, ok := childProto(os.Getenv("REPRO_CLUSTER_PROTO"))
+	if !ok {
+		fail("unknown protocol %q", os.Getenv("REPRO_CLUSTER_PROTO"))
+	}
+	ln, err := FileListener(3, "cluster-listener")
+	if err != nil {
+		fail("inherited listener: %v", err)
+	}
+	res, err := RunNode(NodeOpts{
+		Cfg: core.Config{
+			Nodes:           len(addrs),
+			Protocol:        proto,
+			CallTimeout:     10 * time.Second,
+			WatchdogTimeout: 15 * time.Second,
+		},
+		App:        app,
+		Self:       self,
+		Addrs:      addrs,
+		Listener:   ln,
+		Verify:     true,
+		DialWindow: 20 * time.Second,
+	})
+	if err != nil {
+		fail("node %d: %v", self, err)
+	}
+	if res.HasChecksum {
+		fmt.Printf("checksum=%016x\n", res.Checksum)
+	}
+	os.Exit(0)
+}
+
+// ---------------------------------------------------------------
+// Parent-side tests
+// ---------------------------------------------------------------
+
+// simChecksum runs the workload on the in-process simulator and
+// returns node 0's result hash — the reference the TCP runs must
+// match byte for byte.
+func simChecksum(t *testing.T, cfg core.Config, newApp func() apps.App) uint64 {
+	t.Helper()
+	c, err := core.NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("simnet cluster: %v", err)
+	}
+	defer c.Close()
+	app := newApp()
+	if err := apps.RunAndVerify(c, app); err != nil {
+		t.Fatalf("simnet run: %v", err)
+	}
+	sum, err := app.(apps.Checker).Checksum(c.Node(0))
+	if err != nil {
+		t.Fatalf("simnet checksum: %v", err)
+	}
+	return sum
+}
+
+// TestLoopbackMatchesSimnet is the byte-identity matrix: SOR, matrix
+// multiply, and the task farm under sequential consistency, eager
+// release consistency, and lazy release consistency each produce the
+// same result hash on a real TCP cluster as on the simulator.
+func TestLoopbackMatchesSimnet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket matrix in -short mode")
+	}
+	workloads := map[string]func() apps.App{
+		"sor":       func() apps.App { return apps.NewSOR(24, 16, 6) },
+		"matmul":    func() apps.App { return apps.NewMatMul(24) },
+		"taskqueue": func() apps.App { return apps.NewTaskQueue(40, 200) },
+	}
+	protos := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
+	for name, newApp := range workloads {
+		for _, proto := range protos {
+			t.Run(fmt.Sprintf("%s/%s", name, proto), func(t *testing.T) {
+				t.Parallel()
+				cfg := core.Config{
+					Nodes:           3,
+					Protocol:        proto,
+					CallTimeout:     10 * time.Second,
+					WatchdogTimeout: 60 * time.Second,
+				}
+				want := simChecksum(t, cfg, newApp)
+				results, err := Loopback(cfg, newApp, true)
+				if err != nil {
+					t.Fatalf("tcp loopback: %v", err)
+				}
+				if !results[0].HasChecksum {
+					t.Fatalf("node 0 produced no checksum")
+				}
+				if got := results[0].Checksum; got != want {
+					t.Fatalf("tcp result differs from simnet: %016x != %016x", got, want)
+				}
+				var msgs int64
+				for _, r := range results {
+					msgs += r.Net.MsgsSent
+				}
+				if msgs == 0 {
+					t.Fatalf("a 3-node TCP run sent no messages")
+				}
+			})
+		}
+	}
+}
+
+// spawnNode launches this test binary as cluster node i with its
+// pre-bound listener on fd 3.
+func spawnNode(t *testing.T, i int, addrs []string, ln net.Listener, app, proto string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	f, err := ListenerFile(ln)
+	if err != nil {
+		t.Fatalf("listener file: %v", err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=NONE")
+	cmd.Env = append(os.Environ(),
+		"REPRO_CLUSTER_CHILD="+strconv.Itoa(i),
+		"REPRO_CLUSTER_ADDRS="+strings.Join(addrs, ","),
+		"REPRO_CLUSTER_APP="+app,
+		"REPRO_CLUSTER_PROTO="+proto,
+	)
+	cmd.ExtraFiles = []*os.File{f}
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn node %d: %v", i, err)
+	}
+	// The child inherited dups; drop the parent's references so the
+	// child wholly owns its socket (killing it closes the port).
+	f.Close()
+	ln.Close()
+	return cmd, &out
+}
+
+func bindLoopback(t *testing.T, n int) ([]net.Listener, []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	return lns, addrs
+}
+
+// waitFor waits for a child with a deadline, killing it on overrun.
+func waitFor(t *testing.T, i int, cmd *exec.Cmd, d time.Duration) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		_ = cmd.Process.Kill()
+		<-done
+		t.Fatalf("node %d still running after %v (hang instead of error)", i, d)
+		return nil
+	}
+}
+
+// TestMultiProcessCluster runs a 3-node cluster as three real OS
+// processes over TCP loopback and checks the result hash against the
+// simulator baseline.
+func TestMultiProcessCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	const app, proto = "sor", "lrc"
+	want := simChecksum(t,
+		core.Config{Nodes: 3, Protocol: core.LRC, CallTimeout: 10 * time.Second},
+		func() apps.App { return childApp(app) })
+	lns, addrs := bindLoopback(t, 3)
+	cmds := make([]*exec.Cmd, 3)
+	outs := make([]*bytes.Buffer, 3)
+	for i := range cmds {
+		cmds[i], outs[i] = spawnNode(t, i, addrs, lns[i], app, proto)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for i, cmd := range cmds {
+		wg.Add(1)
+		go func(i int, cmd *exec.Cmd) {
+			defer wg.Done()
+			errs[i] = waitFor(t, i, cmd, 2*time.Minute)
+		}(i, cmd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("node %d failed: %v\n%s", i, err, outs[i].String())
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	got := ""
+	for _, line := range strings.Split(outs[0].String(), "\n") {
+		if strings.HasPrefix(line, "checksum=") {
+			got = strings.TrimPrefix(line, "checksum=")
+		}
+	}
+	if got == "" {
+		t.Fatalf("node 0 printed no checksum:\n%s", outs[0].String())
+	}
+	if want := fmt.Sprintf("%016x", want); got != want {
+		t.Fatalf("multi-process result differs from simnet: %s != %s", got, want)
+	}
+}
+
+// TestPeerDeathFailsLoudly kills one process of a running 3-node
+// cluster and requires the survivors to exit with an error promptly
+// instead of hanging.
+func TestPeerDeathFailsLoudly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	const app, proto = "sor-long", "sc-fixed"
+	lns, addrs := bindLoopback(t, 3)
+	cmds := make([]*exec.Cmd, 3)
+	outs := make([]*bytes.Buffer, 3)
+	for i := range cmds {
+		cmds[i], outs[i] = spawnNode(t, i, addrs, lns[i], app, proto)
+	}
+	time.Sleep(500 * time.Millisecond) // let the run get going
+	if err := cmds[2].Process.Kill(); err != nil {
+		t.Fatalf("kill node 2: %v", err)
+	}
+	_ = cmds[2].Wait()
+	for _, i := range []int{0, 1} {
+		err := waitFor(t, i, cmds[i], 90*time.Second)
+		if err == nil {
+			t.Errorf("node %d exited cleanly despite a dead peer:\n%s", i, outs[i].String())
+		}
+	}
+}
+
+// TestWorkloadMismatchRejected starts two nodes that disagree about
+// the workload; the handshake digest must refuse to let them form a
+// cluster.
+func TestWorkloadMismatchRejected(t *testing.T) {
+	lns, addrs := bindLoopback(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	run := func(i int, app apps.App) {
+		defer wg.Done()
+		_, errs[i] = RunNode(NodeOpts{
+			Cfg: core.Config{
+				Nodes:       2,
+				Protocol:    core.SCFixed,
+				CallTimeout: 5 * time.Second,
+			},
+			App:        app,
+			Self:       i,
+			Addrs:      addrs,
+			Listener:   lns[i],
+			DialWindow: 5 * time.Second,
+		})
+	}
+	wg.Add(2)
+	go run(0, apps.NewSOR(24, 16, 6))
+	go run(1, apps.NewSOR(32, 32, 2))
+	wg.Wait()
+	if errs[0] == nil && errs[1] == nil {
+		t.Fatalf("mismatched workloads formed a cluster")
+	}
+	combined := ""
+	for _, err := range errs {
+		if err != nil {
+			combined += err.Error()
+		}
+	}
+	if !strings.Contains(combined, "digest mismatch") {
+		t.Fatalf("mismatch not attributed to the handshake digest: %v / %v", errs[0], errs[1])
+	}
+}

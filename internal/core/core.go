@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/nodecore"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -199,10 +201,48 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// Cluster is a running DSM system.
+// Digest fingerprints the configuration fields every process of a
+// distributed cluster must agree on — cluster shape, protocol, and
+// memory layout. The TCP handshake exchanges it so a node built with
+// a different page size or protocol is rejected at connect time
+// instead of corrupting the heap mid-run. Timing knobs are excluded:
+// they are simulator-only or node-local.
+func (c Config) Digest() uint64 {
+	_ = c.fillDefaults() // so explicit defaults and zero values agree
+	h := fnv.New64a()
+	put := func(v uint64) {
+		var b [8]byte
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(uint64(c.Nodes))
+	put(uint64(c.Protocol))
+	put(uint64(c.PageSize))
+	put(uint64(c.HeapBytes))
+	bit := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	put(bit(c.TreeBarrier)<<2 | bit(c.LRCBarrierGC)<<1 | bit(c.Advise))
+	put(uint64(c.TreeFanout))
+	return h.Sum64()
+}
+
+// Cluster is a running DSM system — either every node in this
+// process over the simulated network (NewCluster), or this process's
+// one node of a multi-process cluster over a real transport
+// (NewDistributedNode).
 type Cluster struct {
-	cfg   Config
-	net   *simnet.Net
+	cfg  Config
+	tr   transport.Transport
+	net  *simnet.Net // non-nil only on the simulator backend
+	self int         // -1: all nodes local; else the one local node id
+	// nodes holds the locally hosted nodes: all of them in simulator
+	// mode, exactly one in distributed mode.
 	nodes []*Node
 	sts   []*stats.Node
 
@@ -232,7 +272,8 @@ type Node struct {
 	sync *dsync.Service
 }
 
-// NewCluster builds and starts a cluster.
+// NewCluster builds and starts a cluster with every node in this
+// process, connected by the simulated network.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
@@ -251,7 +292,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:      cfg,
+		tr:       net,
 		net:      net,
+		self:     -1,
 		bindings: make(map[int32][]Range),
 	}
 	if cfg.Advise {
@@ -259,56 +302,119 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.adv = advisor.New(pages, cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		tbl, err := mem.NewTable(cfg.HeapBytes, cfg.PageSize)
-		if err != nil {
+		if err := c.addNode(i); err != nil {
 			net.Close()
 			return nil, err
 		}
-		st := &stats.Node{}
-		rt := nodecore.New(simnet.NodeID(i), cfg.Nodes, net.Endpoint(simnet.NodeID(i)), tbl, st)
-		if cfg.CallTimeout > 0 {
-			rt.SetCallTimeout(cfg.CallTimeout)
-		}
-		if cfg.Faults != nil || cfg.Retry != nil {
-			var policy nodecore.RetryPolicy
-			if cfg.Retry != nil {
-				policy = *cfg.Retry
-			}
-			rt.EnableReliability(policy, cfg.Seed)
-		}
-		if c.adv != nil {
-			rt.SetAccessCollector(c.adv)
-		}
-		svc := dsync.New(rt, nil, dsync.Config{
-			TreeBarrier: cfg.TreeBarrier,
-			TreeFanout:  cfg.TreeFanout,
-		})
-		n := &Node{c: c, rt: rt, sync: svc}
-		engine, hooks, err := c.buildEngine(rt, svc)
-		if err != nil {
-			net.Close()
-			return nil, err
-		}
-		rt.SetEngine(engine)
-		if hooks != nil {
-			svc.SetHooks(hooks)
-		}
-		c.nodes = append(c.nodes, n)
-		c.sts = append(c.sts, st)
 	}
+	c.start()
+	return c, nil
+}
+
+// NewDistributedNode builds and starts this process's share of a
+// multi-process cluster: node self of cfg.Nodes, reached through tr
+// (typically a tcp.Transport). Every process must be started with an
+// identical Config — compare Config.Digest in the transport
+// handshake to enforce that. Simulator-only options (latency
+// modelling, fault injection, tracing) are rejected: the real
+// network supplies its own latency and faults.
+//
+// The reliability layer defaults on (cfg.Retry nil gets the default
+// policy): a TCP reconnect can drop frames that were in flight, and
+// retransmission with receive-side dedup is what re-covers them.
+func NewDistributedNode(cfg Config, tr transport.Transport, self int) (*Cluster, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("core: NewDistributedNode: nil transport")
+	}
+	if tr.Nodes() != cfg.Nodes {
+		return nil, fmt.Errorf("core: NewDistributedNode: transport has %d nodes, config says %d", tr.Nodes(), cfg.Nodes)
+	}
+	if self < 0 || self >= cfg.Nodes {
+		return nil, fmt.Errorf("core: NewDistributedNode: node id %d out of range [0,%d)", self, cfg.Nodes)
+	}
+	switch {
+	case cfg.Faults != nil:
+		return nil, fmt.Errorf("core: NewDistributedNode: fault injection is simulator-only")
+	case cfg.Trace != nil:
+		return nil, fmt.Errorf("core: NewDistributedNode: message tracing is simulator-only")
+	case cfg.Latency != 0 || cfg.PerByte != 0 || cfg.RecvOccupancy != 0 || cfg.Jitter != 0:
+		return nil, fmt.Errorf("core: NewDistributedNode: latency modelling is simulator-only")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		tr:       tr,
+		self:     self,
+		bindings: make(map[int32][]Range),
+	}
+	if cfg.Advise {
+		pages := int((cfg.HeapBytes + int64(cfg.PageSize) - 1) / int64(cfg.PageSize))
+		c.adv = advisor.New(pages, cfg.Nodes)
+	}
+	if err := c.addNode(self); err != nil {
+		return nil, err
+	}
+	c.start()
+	return c, nil
+}
+
+// addNode constructs one locally hosted node on c.tr.
+func (c *Cluster) addNode(i int) error {
+	cfg := c.cfg
+	tbl, err := mem.NewTable(cfg.HeapBytes, cfg.PageSize)
+	if err != nil {
+		return err
+	}
+	st := &stats.Node{}
+	rt := nodecore.New(transport.NodeID(i), cfg.Nodes, c.tr.Endpoint(transport.NodeID(i)), tbl, st)
+	if cfg.CallTimeout > 0 {
+		rt.SetCallTimeout(cfg.CallTimeout)
+	}
+	if cfg.Faults != nil || cfg.Retry != nil || c.self >= 0 {
+		var policy nodecore.RetryPolicy
+		if cfg.Retry != nil {
+			policy = *cfg.Retry
+		}
+		rt.EnableReliability(policy, cfg.Seed)
+	}
+	if c.adv != nil {
+		rt.SetAccessCollector(c.adv)
+	}
+	svc := dsync.New(rt, nil, dsync.Config{
+		TreeBarrier: cfg.TreeBarrier,
+		TreeFanout:  cfg.TreeFanout,
+	})
+	n := &Node{c: c, rt: rt, sync: svc}
+	engine, hooks, err := c.buildEngine(rt, svc)
+	if err != nil {
+		return err
+	}
+	rt.SetEngine(engine)
+	if hooks != nil {
+		svc.SetHooks(hooks)
+	}
+	c.nodes = append(c.nodes, n)
+	c.sts = append(c.sts, st)
+	return nil
+}
+
+// start launches the local nodes' dispatch loops and engines.
+func (c *Cluster) start() {
 	for _, n := range c.nodes {
 		n.rt.Start()
 	}
 	for _, n := range c.nodes {
 		n.rt.Engine().Init()
 	}
-	return c, nil
 }
 
-// Close shuts the cluster down. It is safe to call more than once.
+// Close shuts the cluster down (in distributed mode: this process's
+// node and transport). It is safe to call more than once.
 func (c *Cluster) Close() {
 	c.closeOnce.Do(func() {
-		c.net.Close()
+		c.tr.Close()
 		for _, n := range c.nodes {
 			n.rt.Close()
 		}
@@ -322,8 +428,24 @@ func (c *Cluster) Config() Config { return c.cfg }
 func (c *Cluster) N() int { return c.cfg.Nodes }
 
 // Node returns node i, for tests and tools that drive nodes
-// directly; applications normally use Run.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+// directly; applications normally use Run. In distributed mode only
+// the local node exists in this process; asking for any other panics.
+func (c *Cluster) Node(i int) *Node {
+	if c.self >= 0 {
+		if i != c.self {
+			panic(fmt.Sprintf("core: Node(%d): only node %d lives in this process", i, c.self))
+		}
+		return c.nodes[0]
+	}
+	return c.nodes[i]
+}
+
+// Self returns the local node id in distributed mode, or -1 when
+// every node runs in this process.
+func (c *Cluster) Self() int { return c.self }
+
+// Local reports whether node i is hosted by this process.
+func (c *Cluster) Local(i int) bool { return c.self < 0 || i == c.self }
 
 // PageSize returns the configured page size.
 func (c *Cluster) PageSize() int { return c.cfg.PageSize }
@@ -345,18 +467,18 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 	if c.cfg.WatchdogTimeout > 0 {
 		wd = startWatchdog(c, c.cfg.WatchdogTimeout)
 	}
-	for i, n := range c.nodes {
+	for _, n := range c.nodes {
 		wg.Add(1)
-		go func(i int, n *Node) {
+		go func(n *Node) {
 			defer wg.Done()
 			if err := fn(n); err != nil {
 				mu.Lock()
 				if first == nil {
-					first = fmt.Errorf("core: node %d: %w", i, err)
+					first = fmt.Errorf("core: node %d: %w", n.ID(), err)
 				}
 				mu.Unlock()
 			}
-		}(i, n)
+		}(n)
 	}
 	wg.Wait()
 	if wd != nil {
@@ -368,20 +490,43 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 }
 
 // Partition blocks traffic between nodes a and b (both directions)
-// for the given duration, then heals.
+// for the given duration, then heals. Simulator-only; a no-op on
+// real transports.
 func (c *Cluster) Partition(a, b int, d time.Duration) {
+	if c.net == nil {
+		return
+	}
 	c.net.Partition(simnet.NodeID(a), simnet.NodeID(b), d)
 }
 
 // StallNode freezes message delivery into node id for the given
 // duration (a GC pause / overloaded-host model); messages queue and
-// deliver in order once the stall lifts.
+// deliver in order once the stall lifts. Simulator-only; a no-op on
+// real transports.
 func (c *Cluster) StallNode(id int, d time.Duration) {
+	if c.net == nil {
+		return
+	}
 	c.net.StallNode(simnet.NodeID(id), d)
 }
 
-// FaultStats exposes the network's fault-injection counters.
-func (c *Cluster) FaultStats() *simnet.FaultStats { return c.net.Faults() }
+// FaultStats exposes the network's fault-injection counters, or nil
+// on real transports.
+func (c *Cluster) FaultStats() *simnet.FaultStats {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.Faults()
+}
+
+// TransportName names the backend carrying this cluster's messages
+// ("sim" or "tcp").
+func (c *Cluster) TransportName() string { return c.tr.Name() }
+
+// TransportCounters snapshots the backend's byte/message counters.
+// On the simulator they aggregate the whole cluster; on a real
+// transport, this process's node only.
+func (c *Cluster) TransportCounters() transport.CountersSnapshot { return c.tr.Counters() }
 
 // Stats returns a per-node snapshot of the counters.
 func (c *Cluster) Stats() []stats.Snapshot {

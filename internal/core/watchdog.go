@@ -8,12 +8,13 @@ import (
 )
 
 // watchdog detects cluster-wide stalls: if no node's dispatch loop
-// processes any message for the configured window while requests are
-// in flight, the run is declared stuck. Retransmissions count as
-// progress, so the watchdog only fires on true silence — a genuine
-// deadlock or a protocol bug the reliability layer cannot paper
-// over — and its report dumps every node's pending calls, which is
-// usually enough to see the dependency cycle.
+// processes any *useful* message for the configured window while
+// requests are in flight, the run is declared stuck. Retransmissions
+// that actually deliver count as progress, but retransmits suppressed
+// as duplicates and late-discarded replies do not — a cluster
+// spinning on a dead peer is loud but goes nowhere, and the watchdog
+// must see through that chatter. Its report dumps every node's
+// pending calls, which is usually enough to see the dependency cycle.
 type watchdog struct {
 	c       *Cluster
 	timeout time.Duration
@@ -52,7 +53,7 @@ func (w *watchdog) halt() error {
 func (w *watchdog) progress() int64 {
 	var sum int64
 	for _, n := range w.c.nodes {
-		sum += n.rt.Dispatched()
+		sum += n.rt.UsefulDispatched()
 	}
 	return sum
 }

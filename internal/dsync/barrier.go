@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -39,14 +39,14 @@ func (s *Service) Barrier(id int32) error {
 
 // treeRank maps a physical node to its rank in the barrier tree
 // rooted at the barrier's manager.
-func (s *Service) treeRank(id int32, node simnet.NodeID) int {
+func (s *Service) treeRank(id int32, node transport.NodeID) int {
 	root := int(s.managerOf(id))
 	return (int(node) - root + s.rt.N()) % s.rt.N()
 }
 
-func (s *Service) rankToNode(id int32, rank int) simnet.NodeID {
+func (s *Service) rankToNode(id int32, rank int) transport.NodeID {
 	root := int(s.managerOf(id))
-	return simnet.NodeID((root + rank) % s.rt.N())
+	return transport.NodeID((root + rank) % s.rt.N())
 }
 
 // expectedArrivals returns how many arrivals this node aggregates for

@@ -22,7 +22,7 @@ import (
 	"time"
 
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -47,7 +47,7 @@ type Hooks interface {
 	// GrantPayload runs at the granting node (the last releaser, or
 	// the manager for a never-held lock) to build the grant payload
 	// for the given requester.
-	GrantPayload(lock int32, to simnet.NodeID, mode Mode, reqPayload []byte) []byte
+	GrantPayload(lock int32, to transport.NodeID, mode Mode, reqPayload []byte) []byte
 	// OnGranted runs at the acquirer before Acquire returns.
 	OnGranted(lock int32, mode Mode, payload []byte)
 	// OnRelease runs at the holder before the release is sent; eager
@@ -75,7 +75,7 @@ type NopHooks struct{}
 func (NopHooks) AcquirePayload(int32) []byte { return nil }
 
 // GrantPayload returns nil.
-func (NopHooks) GrantPayload(int32, simnet.NodeID, Mode, []byte) []byte { return nil }
+func (NopHooks) GrantPayload(int32, transport.NodeID, Mode, []byte) []byte { return nil }
 
 // OnGranted does nothing.
 func (NopHooks) OnGranted(int32, Mode, []byte) {}
@@ -119,7 +119,7 @@ type Service struct {
 }
 
 type pendGrant struct {
-	from    simnet.NodeID
+	from    transport.NodeID
 	req     uint64
 	mode    Mode
 	payload []byte
@@ -130,7 +130,7 @@ type lockState struct {
 	mode         Mode // valid when held
 	held         bool
 	sharedCount  int
-	lastReleaser simnet.NodeID // -1 until first release
+	lastReleaser transport.NodeID // -1 until first release
 	queue        []pendGrant
 }
 
@@ -177,11 +177,11 @@ func (s *Service) SetHooks(h Hooks) {
 	s.hooks = h
 }
 
-func (s *Service) managerOf(id int32) simnet.NodeID {
+func (s *Service) managerOf(id int32) transport.NodeID {
 	if id < 0 {
 		panic(fmt.Sprintf("dsync: negative lock/barrier id %d", id))
 	}
-	return simnet.NodeID(int(id) % s.rt.N())
+	return transport.NodeID(int(id) % s.rt.N())
 }
 
 func (s *Service) lockState(id int32) *lockState {
@@ -293,7 +293,7 @@ func (s *Service) handleLockReq(m *wire.Msg) {
 
 // grant routes grant duty: to the last releaser if there is one,
 // otherwise this manager builds the (empty) initial payload itself.
-func (s *Service) grant(lock int32, pg pendGrant, granter simnet.NodeID) {
+func (s *Service) grant(lock int32, pg pendGrant, granter transport.NodeID) {
 	if granter >= 0 && granter != s.rt.ID() {
 		// Re-materialize the original request and forward it; the
 		// granter replies straight to the requester.

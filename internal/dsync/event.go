@@ -5,7 +5,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -25,7 +25,7 @@ import (
 type evtState struct {
 	mu      sync.Mutex
 	set     bool
-	setter  simnet.NodeID
+	setter  transport.NodeID
 	waiters []pendGrant
 }
 
@@ -130,7 +130,7 @@ func (s *Service) handleEvtSet(m *wire.Msg) {
 
 // fireEvent routes grant duty to the setter (or builds the payload
 // locally when the manager is the setter).
-func (s *Service) fireEvent(id int32, pg pendGrant, setter simnet.NodeID) {
+func (s *Service) fireEvent(id int32, pg pendGrant, setter transport.NodeID) {
 	if setter >= 0 && setter != s.rt.ID() {
 		fwd := &wire.Msg{
 			Kind: wire.KEvtWait,

@@ -29,8 +29,8 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/mem"
-	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -66,9 +66,9 @@ type DirectEngine interface {
 
 // Runtime is the per-node core shared by all engines.
 type Runtime struct {
-	id  simnet.NodeID
+	id  transport.NodeID
 	n   int
-	ep  *simnet.Endpoint
+	ep  transport.Endpoint
 	tbl *mem.Table
 	st  *stats.Node
 
@@ -104,7 +104,7 @@ type Runtime struct {
 type pendingCall struct {
 	ch    chan *wire.Msg
 	kind  wire.Kind
-	to    simnet.NodeID
+	to    transport.NodeID
 	since time.Time
 }
 
@@ -112,7 +112,7 @@ type pendingCall struct {
 type PendingCall struct {
 	Req   uint64
 	Kind  wire.Kind
-	To    simnet.NodeID
+	To    transport.NodeID
 	Since time.Time
 }
 
@@ -140,7 +140,7 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 }
 
 // New builds a runtime for node id of an n-node cluster.
-func New(id simnet.NodeID, n int, ep *simnet.Endpoint, tbl *mem.Table, st *stats.Node) *Runtime {
+func New(id transport.NodeID, n int, ep transport.Endpoint, tbl *mem.Table, st *stats.Node) *Runtime {
 	ep.SetStats(st)
 	return &Runtime{
 		id:          id,
@@ -197,7 +197,7 @@ func (r *Runtime) handleConfirm(m *wire.Msg) {
 }
 
 // ID returns this node's id.
-func (r *Runtime) ID() simnet.NodeID { return r.id }
+func (r *Runtime) ID() transport.NodeID { return r.id }
 
 // N returns the cluster size.
 func (r *Runtime) N() int { return r.n }
@@ -323,6 +323,16 @@ func (r *Runtime) LateReplies() int64 { return r.st.LateReplies.Load() }
 // processed; the cluster watchdog uses it as a progress signal.
 func (r *Runtime) Dispatched() int64 { return r.dispatched.Load() }
 
+// UsefulDispatched is Dispatched minus messages that advanced
+// nothing: retransmitted requests suppressed as duplicates and
+// replies discarded as late. A cluster stuck waiting on a dead or
+// unreachable peer keeps retransmitting (and keeps suppressing those
+// retransmits) forever — only subtracting them lets the watchdog see
+// through that chatter to the underlying stall.
+func (r *Runtime) UsefulDispatched() int64 {
+	return r.dispatched.Load() - r.st.DupRequests.Load() - r.st.LateReplies.Load()
+}
+
 // PendingCalls snapshots the in-flight requests (and awaited
 // tokens), oldest first, for the watchdog's stall dump.
 func (r *Runtime) PendingCalls() []PendingCall {
@@ -364,7 +374,7 @@ func (r *Runtime) NewReq() uint64 {
 }
 
 // register creates the reply slot for req.
-func (r *Runtime) register(req uint64, kind wire.Kind, to simnet.NodeID) chan *wire.Msg {
+func (r *Runtime) register(req uint64, kind wire.Kind, to transport.NodeID) chan *wire.Msg {
 	ch := make(chan *wire.Msg, 1)
 	r.pendMu.Lock()
 	r.pending[req] = &pendingCall{ch: ch, kind: kind, to: to, since: time.Now()}
@@ -398,7 +408,7 @@ func (r *Runtime) Send(m *wire.Msg) error {
 // directly. Used by manager relays and probable-owner chains. Under
 // reliability the relay is recorded so a duplicate of the original
 // request is re-relayed instead of dropped.
-func (r *Runtime) Forward(m *wire.Msg, to simnet.NodeID) error {
+func (r *Runtime) Forward(m *wire.Msg, to transport.NodeID) error {
 	fwd := *m
 	fwd.To = to
 	if r.reliable && m.Req != 0 && !m.Kind.IsReply() {
@@ -566,7 +576,7 @@ func (r *Runtime) AwaitToken(tok uint64, ch chan *wire.Msg, timeout time.Duratio
 // waiter's transaction, so reliable mode upgrades the notification
 // to a retried KConfirm request, acknowledged by the waiter's
 // runtime (handleConfirm) once the token is delivered.
-func (r *Runtime) ReleaseToken(to simnet.NodeID, tok uint64) error {
+func (r *Runtime) ReleaseToken(to transport.NodeID, tok uint64) error {
 	if r.reliable {
 		_, err := r.Call(&wire.Msg{Kind: wire.KConfirm, To: to, Arg: tok})
 		return err

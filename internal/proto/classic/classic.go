@@ -24,7 +24,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -66,8 +66,8 @@ func (e *Server) Init() {
 	}
 }
 
-func (e *Server) serverOf(pg mem.PageID) simnet.NodeID {
-	return simnet.NodeID(int(pg) % e.rt.N())
+func (e *Server) serverOf(pg mem.PageID) transport.NodeID {
+	return transport.NodeID(int(pg) % e.rt.N())
 }
 
 // ReadFault implements nodecore.Engine; unreachable because
@@ -192,8 +192,8 @@ func (e *Replicated) Init() {
 	}
 }
 
-func (e *Replicated) sequencerOf(pg mem.PageID) simnet.NodeID {
-	return simnet.NodeID(int(pg) % e.rt.N())
+func (e *Replicated) sequencerOf(pg mem.PageID) transport.NodeID {
+	return transport.NodeID(int(pg) % e.rt.N())
 }
 
 // ReadFault implements nodecore.Engine; unreachable (replicas are
@@ -251,11 +251,11 @@ func (e *Replicated) handleSeqWrite(m *wire.Msg) {
 	// so at most one update per page is ever in flight (total order).
 	var wg sync.WaitGroup
 	for i := 0; i < e.rt.N(); i++ {
-		if simnet.NodeID(i) == e.rt.ID() {
+		if transport.NodeID(i) == e.rt.ID() {
 			continue
 		}
 		wg.Add(1)
-		go func(to simnet.NodeID) {
+		go func(to transport.NodeID) {
 			defer wg.Done()
 			_, _ = e.rt.Call(&wire.Msg{
 				Kind: wire.KUpdate,
@@ -264,7 +264,7 @@ func (e *Replicated) handleSeqWrite(m *wire.Msg) {
 				Arg:  m.Arg,
 				Data: m.Data,
 			})
-		}(simnet.NodeID(i))
+		}(transport.NodeID(i))
 	}
 	wg.Wait()
 	_ = e.rt.Reply(m, &wire.Msg{Kind: wire.KSeqWriteAck, Page: m.Page})

@@ -26,7 +26,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Range is a byte range of the shared address space bound to a lock.
@@ -116,7 +116,7 @@ func (e *Engine) AcquirePayload(lock int32) []byte {
 // acquirer is stale, the current contents of every bound range read
 // from our local memory (we are the last releaser, so our copy is
 // authoritative).
-func (e *Engine) GrantPayload(lock int32, _ simnet.NodeID, _ dsync.Mode, reqPayload []byte) []byte {
+func (e *Engine) GrantPayload(lock int32, _ transport.NodeID, _ dsync.Mode, reqPayload []byte) []byte {
 	var acqVer uint64
 	if len(reqPayload) >= 8 {
 		acqVer = binary.LittleEndian.Uint64(reqPayload)

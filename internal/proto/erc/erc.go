@@ -23,7 +23,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -88,8 +88,8 @@ func (e *Engine) Init() {
 	}
 }
 
-func (e *Engine) homeOf(pg mem.PageID) simnet.NodeID {
-	return simnet.NodeID(int(pg) % e.rt.N())
+func (e *Engine) homeOf(pg mem.PageID) transport.NodeID {
+	return transport.NodeID(int(pg) % e.rt.N())
 }
 
 // ReadFault implements nodecore.Engine: fetch a read-only copy from
@@ -269,12 +269,12 @@ func (e *Engine) handleFlush(m *wire.Msg) {
 // invalidated sharer returned a rescue diff (unflushed concurrent
 // writes merged into the home), in which case the caller must also
 // invalidate the flusher.
-func (e *Engine) propagate(pg mem.PageID, diff []byte, flusher simnet.NodeID) bool {
+func (e *Engine) propagate(pg mem.PageID, diff []byte, flusher transport.NodeID) bool {
 	p := e.rt.Table().Page(pg)
 	p.Lock()
 	var targets []int
 	p.Copyset.ForEach(func(i int) {
-		if simnet.NodeID(i) != flusher && simnet.NodeID(i) != e.rt.ID() {
+		if transport.NodeID(i) != flusher && transport.NodeID(i) != e.rt.ID() {
 			targets = append(targets, i)
 		}
 	})
@@ -286,7 +286,7 @@ func (e *Engine) propagate(pg mem.PageID, diff []byte, flusher simnet.NodeID) bo
 	returned := make([][]byte, len(targets))
 	for idx, t := range targets {
 		wg.Add(1)
-		go func(idx int, to simnet.NodeID) {
+		go func(idx int, to transport.NodeID) {
 			defer wg.Done()
 			if e.flavor == Update {
 				_, _ = e.rt.Call(&wire.Msg{Kind: wire.KErcUpdate, To: to, Page: pg, Data: diff})
@@ -296,7 +296,7 @@ func (e *Engine) propagate(pg mem.PageID, diff []byte, flusher simnet.NodeID) bo
 			if err == nil && len(reply.Data) > 0 {
 				returned[idx] = reply.Data
 			}
-		}(idx, simnet.NodeID(t))
+		}(idx, transport.NodeID(t))
 	}
 	wg.Wait()
 	rescued := false

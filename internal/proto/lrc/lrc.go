@@ -37,7 +37,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
 )
@@ -110,8 +110,8 @@ func NewHomeBased(rt *nodecore.Runtime) *Engine {
 	return e
 }
 
-func (e *Engine) homeOf(pg mem.PageID) simnet.NodeID {
-	return simnet.NodeID(int(pg) % e.rt.N())
+func (e *Engine) homeOf(pg mem.PageID) transport.NodeID {
+	return transport.NodeID(int(pg) % e.rt.N())
 }
 
 // DiffCacheSize reports the number of retained own-interval diffs,
@@ -235,7 +235,7 @@ func (e *Engine) validate(pg mem.PageID) error {
 			e.rt.Stats().DiffFetches.Add(1)
 			reply, err := e.rt.Call(&wire.Msg{
 				Kind: wire.KDiffReq,
-				To:   simnet.NodeID(node),
+				To:   transport.NodeID(node),
 				Page: pg,
 				Arg:  uint64(lo),
 				B:    uint64(hi),
@@ -438,7 +438,7 @@ func (e *Engine) AcquirePayload(int32) []byte {
 
 // GrantPayload implements dsync.Hooks: ship the write notices of
 // every interval the acquirer has not seen.
-func (e *Engine) GrantPayload(_ int32, _ simnet.NodeID, _ dsync.Mode, reqPayload []byte) []byte {
+func (e *Engine) GrantPayload(_ int32, _ transport.NodeID, _ dsync.Mode, reqPayload []byte) []byte {
 	acqVC, _, err := vclock.Decode(reqPayload)
 	if err != nil {
 		panic(fmt.Sprintf("lrc: node %d: bad acquire payload: %v", e.rt.ID(), err))

@@ -32,7 +32,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -86,7 +86,7 @@ type Config struct {
 	// treated as write faults and pages move exclusively.
 	Migrate bool
 	// CentralNode overrides the manager for Locator Central.
-	CentralNode simnet.NodeID
+	CentralNode transport.NodeID
 }
 
 // Engine is the per-node protocol instance.
@@ -125,7 +125,7 @@ func (e *Engine) Init() {
 	n := e.rt.N()
 	for i := 0; i < tbl.NumPages(); i++ {
 		p := tbl.Page(mem.PageID(i))
-		owner := simnet.NodeID(i % n)
+		owner := transport.NodeID(i % n)
 		p.Lock()
 		p.Owner = owner
 		// Every node records the initial owner in its copyset view, so
@@ -145,11 +145,11 @@ func (e *Engine) managed() bool {
 	return e.cfg.Locator == Central || e.cfg.Locator == Fixed
 }
 
-func (e *Engine) managerOf(pg mem.PageID) simnet.NodeID {
+func (e *Engine) managerOf(pg mem.PageID) transport.NodeID {
 	if e.cfg.Locator == Central {
 		return e.cfg.CentralNode
 	}
-	return simnet.NodeID(int(pg) % e.rt.N())
+	return transport.NodeID(int(pg) % e.rt.N())
 }
 
 // ---------------------------------------------------------------
@@ -259,14 +259,14 @@ func (e *Engine) probe(kind wire.Kind, pg mem.PageID, arg uint64) (*wire.Msg, er
 		ch := make(chan res, n-1)
 		sent := 0
 		for i := 0; i < n; i++ {
-			if simnet.NodeID(i) == e.rt.ID() {
+			if transport.NodeID(i) == e.rt.ID() {
 				continue
 			}
 			sent++
-			go func(to simnet.NodeID) {
+			go func(to transport.NodeID) {
 				reply, err := e.rt.Call(&wire.Msg{Kind: kind, To: to, Page: pg, Arg: arg})
 				ch <- res{reply, err}
-			}(simnet.NodeID(i))
+			}(transport.NodeID(i))
 		}
 		var grant *wire.Msg
 		var firstErr error
@@ -329,7 +329,7 @@ func (e *Engine) managerTx(m *wire.Msg, write bool) {
 	var invalidatees []int
 	if write {
 		p.Copyset.ForEach(func(i int) {
-			if simnet.NodeID(i) != m.From && simnet.NodeID(i) != owner {
+			if transport.NodeID(i) != m.From && transport.NodeID(i) != owner {
 				invalidatees = append(invalidatees, i)
 			}
 		})
@@ -374,14 +374,14 @@ func (e *Engine) managerTx(m *wire.Msg, write bool) {
 // invalidateAll sends invalidations in parallel and waits for all
 // acknowledgements. newOwner rides along so copy holders can update
 // their owner hints (dynamic locator semantics, harmless elsewhere).
-func (e *Engine) invalidateAll(pg mem.PageID, nodes []int, newOwner simnet.NodeID) {
+func (e *Engine) invalidateAll(pg mem.PageID, nodes []int, newOwner transport.NodeID) {
 	if len(nodes) == 0 {
 		return
 	}
 	var wg sync.WaitGroup
 	for _, i := range nodes {
 		wg.Add(1)
-		go func(to simnet.NodeID) {
+		go func(to transport.NodeID) {
 			defer wg.Done()
 			_, err := e.rt.Call(&wire.Msg{Kind: wire.KInval, To: to, Page: pg, Arg: uint64(newOwner)})
 			if err != nil {
@@ -389,7 +389,7 @@ func (e *Engine) invalidateAll(pg mem.PageID, nodes []int, newOwner simnet.NodeI
 				// its token timeout if this mattered.
 				return
 			}
-		}(simnet.NodeID(i))
+		}(transport.NodeID(i))
 	}
 	wg.Wait()
 }
@@ -449,7 +449,7 @@ func (e *Engine) ownerServe(m *wire.Msg, write bool) {
 	var invalidatees []int
 	if isOwner && write {
 		p.Copyset.ForEach(func(i int) {
-			if simnet.NodeID(i) != m.From && simnet.NodeID(i) != e.rt.ID() {
+			if transport.NodeID(i) != m.From && transport.NodeID(i) != e.rt.ID() {
 				invalidatees = append(invalidatees, i)
 			}
 		})
@@ -483,7 +483,7 @@ func (e *Engine) ownerServe(m *wire.Msg, write bool) {
 // notOwner reacts to a misdirected request: dynamic mode forwards it
 // along the probable-owner chain (updating the hint for write
 // requests, per Li & Hudak); broadcast mode answers not-owner.
-func (e *Engine) notOwner(m *wire.Msg, hint simnet.NodeID, write bool) {
+func (e *Engine) notOwner(m *wire.Msg, hint transport.NodeID, write bool) {
 	if e.cfg.Locator == Broadcast {
 		_ = e.rt.Reply(m, &wire.Msg{Kind: wire.KNotOwner, Page: m.Page})
 		return
@@ -567,7 +567,7 @@ func (e *Engine) handleInval(m *wire.Msg) {
 		p.SetProt(mem.Invalid)
 		e.rt.Stats().Invalidations.Add(1)
 	}
-	p.Owner = simnet.NodeID(m.Arg)
+	p.Owner = transport.NodeID(m.Arg)
 	p.Unlock()
 	_ = e.rt.Ack(m)
 }

@@ -1,0 +1,26 @@
+package simnet_test
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+)
+
+// TestTransportConformance runs the shared transport contract suite
+// against the simulator backend.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) ([]transport.Endpoint, func() transport.CountersSnapshot, func()) {
+		net, err := simnet.New(simnet.Config{Nodes: n})
+		if err != nil {
+			t.Fatalf("simnet.New: %v", err)
+		}
+		t.Cleanup(net.Close)
+		eps := make([]transport.Endpoint, n)
+		for i := 0; i < n; i++ {
+			eps[i] = net.Endpoint(transport.NodeID(i))
+		}
+		return eps, net.Counters, net.Close
+	})
+}

@@ -1,10 +1,14 @@
-// Package simnet provides the message-passing substrate connecting
-// DSM nodes: an in-process network of point-to-point links with
-// per-pair FIFO delivery (like TCP connections between workstations),
-// configurable latency and bandwidth cost, optional delivery jitter
-// for stress testing, and traffic accounting. Every message crosses
-// the wire encoding even though delivery is in-process, so message
-// and byte counts are faithful to a real deployment.
+// Package simnet provides the simulated message-passing substrate
+// connecting DSM nodes: an in-process network of point-to-point links
+// with per-pair FIFO delivery (like TCP connections between
+// workstations), configurable latency and bandwidth cost, optional
+// delivery jitter for stress testing, and traffic accounting. Every
+// message crosses the wire encoding even though delivery is
+// in-process, so message and byte counts are faithful to a real
+// deployment. Net implements transport.Transport, making the
+// simulator one backend among several (see internal/transport and
+// internal/transport/tcp); it remains the default and the only
+// backend with latency/fault modeling.
 package simnet
 
 import (
@@ -15,11 +19,13 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
-// NodeID identifies a node on the network.
-type NodeID = int32
+// NodeID identifies a node on the network (an alias of
+// transport.NodeID; both are int32).
+type NodeID = transport.NodeID
 
 // Latency computes the delivery delay for a message of the given
 // encoded size from one node to another. Links are full-duplex and
@@ -145,13 +151,14 @@ func (f *FaultStats) String() string {
 		f.PartitionsOpened.Load(), f.PartitionsHealed.Load(), f.Stalls.Load())
 }
 
-// Net is the simulated network.
+// Net is the simulated network. It implements transport.Transport.
 type Net struct {
 	cfg    Config
 	eps    []*Endpoint
 	queues []*dqueue
 	pairs  [][]pairState
 	faults FaultStats
+	ctr    transport.Counters
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -201,13 +208,21 @@ func New(cfg Config) (*Net, error) {
 	return net, nil
 }
 
-// Endpoint returns node id's endpoint.
-func (n *Net) Endpoint(id NodeID) *Endpoint {
+// Endpoint returns node id's endpoint (all nodes are local to the
+// simulator). It implements transport.Transport.
+func (n *Net) Endpoint(id NodeID) transport.Endpoint {
 	return n.eps[id]
 }
 
 // Nodes returns the node count.
 func (n *Net) Nodes() int { return n.cfg.Nodes }
+
+// Name implements transport.Transport.
+func (n *Net) Name() string { return "sim" }
+
+// Counters implements transport.Transport: transport-level traffic
+// totals (self-sends excluded, as everywhere).
+func (n *Net) Counters() transport.CountersSnapshot { return n.ctr.Snapshot() }
 
 // Faults returns the network's fault counters.
 func (n *Net) Faults() *FaultStats { return &n.faults }
@@ -306,9 +321,13 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 		return fmt.Errorf("simnet: send to invalid node %d (cluster of %d)", to, e.net.cfg.Nodes)
 	}
 	raw := m.Encode(make([]byte, 0, m.EncodedSize()))
-	if e.st != nil && to != e.id {
-		e.st.MsgsSent.Add(1)
-		e.st.BytesSent.Add(int64(len(raw)))
+	if to != e.id {
+		e.net.ctr.MsgsSent.Add(1)
+		e.net.ctr.BytesSent.Add(int64(len(raw)))
+		if e.st != nil {
+			e.st.MsgsSent.Add(1)
+			e.st.BytesSent.Add(int64(len(raw)))
+		}
 	}
 	var at time.Time
 	duplicate := false
@@ -488,9 +507,13 @@ func (q *dqueue) run() {
 			// runtime condition: the bytes never left the process.
 			panic(fmt.Sprintf("simnet: decode at node %d: %v", q.ep.id, err))
 		}
-		if q.ep.st != nil && !it.self {
-			q.ep.st.MsgsRecv.Add(1)
-			q.ep.st.BytesRecv.Add(int64(len(it.raw)))
+		if !it.self {
+			q.ep.net.ctr.MsgsRecv.Add(1)
+			q.ep.net.ctr.BytesRecv.Add(int64(len(it.raw)))
+			if q.ep.st != nil {
+				q.ep.st.MsgsRecv.Add(1)
+				q.ep.st.BytesRecv.Add(int64(len(it.raw)))
+			}
 		}
 		if q.trace != nil {
 			q.trace(m)

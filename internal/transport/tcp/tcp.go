@@ -1,0 +1,507 @@
+// Package tcp is the real-socket transport backend: each DSM node is
+// its own OS process, connected to its peers by persistent TCP
+// connections carrying length-prefixed wire frames. It implements
+// transport.Transport for exactly one local node; a cluster is N
+// processes each running one Transport over a shared address list.
+//
+// Wire protocol. Every connection is unidirectional for frames:
+// node i dials node j and sends frames; j's accept side only reads.
+// A connection opens with a fixed-size handshake — magic, frame
+// version byte (wire.Version), sender id, cluster size, and a config
+// digest — which the acceptor verifies and answers with an accept or
+// a reject-with-reason, so mismatched builds and miswired clusters
+// fail fast with a clear error instead of desynchronizing. After the
+// handshake, each frame is a 4-byte little-endian length (bounded by
+// wire.MaxEncodedSize) followed by one encoded wire.Msg.
+//
+// Connection management. Connections are dialed lazily on first
+// send and serialized per peer, which preserves the per-pair FIFO
+// order the DSM protocols assume. Until a peer has been reached once,
+// dialing retries with backoff for Config.DialWindow (cluster
+// processes start at different times); after a peer has been
+// connected, a broken connection is redialed once per send and
+// failure surfaces immediately, so a killed peer produces a crisp
+// transport error for the reliability layer and watchdog rather than
+// a hang.
+package tcp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// handshake layout: magic | version | node id | cluster size | digest.
+const (
+	magic          = 0x44534d54 // "DSMT"
+	handshakeSize  = 4 + 1 + 4 + 4 + 8
+	replyOK        = 0
+	replyReject    = 1
+	maxRejectLen   = 512
+	defaultDepth   = 4096
+	defaultDialTO  = 2 * time.Second
+	defaultWindow  = 15 * time.Second
+	dialBackoffMin = 10 * time.Millisecond
+	dialBackoffMax = 250 * time.Millisecond
+)
+
+// Config describes one node's attachment to a TCP cluster.
+type Config struct {
+	// Self is this process's node id in [0, len(Addrs)).
+	Self transport.NodeID
+	// Addrs lists every node's listen address, indexed by node id;
+	// its length is the cluster size.
+	Addrs []string
+	// Listener optionally supplies a pre-bound listener for
+	// Addrs[Self] — used when a parent process reserves ports (or an
+	// ":0" address was resolved) before spawning node processes.
+	Listener net.Listener
+	// ConfigDigest fingerprints the cluster configuration (protocol,
+	// page size, workload...). Peers with a different digest are
+	// rejected at the handshake.
+	ConfigDigest uint64
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// DialWindow bounds the total lazy-dial retry time for a peer
+	// that has never been reached — cluster bring-up skew (default
+	// 15s). Once a peer has connected, broken connections fail fast.
+	DialWindow time.Duration
+	// InboxDepth bounds the receive queue (default 4096).
+	InboxDepth int
+}
+
+func (c *Config) fillDefaults() error {
+	if len(c.Addrs) == 0 {
+		return fmt.Errorf("tcp: no peer addresses")
+	}
+	if c.Self < 0 || int(c.Self) >= len(c.Addrs) {
+		return fmt.Errorf("tcp: Self = %d out of range for %d addresses", c.Self, len(c.Addrs))
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = defaultDialTO
+	}
+	if c.DialWindow <= 0 {
+		c.DialWindow = defaultWindow
+	}
+	if c.InboxDepth <= 0 {
+		c.InboxDepth = defaultDepth
+	}
+	return nil
+}
+
+// Transport is one node's TCP attachment. It implements
+// transport.Transport with a single local endpoint (Self).
+type Transport struct {
+	cfg Config
+	ln  net.Listener
+	ep  *endpoint
+	ctr transport.Counters
+
+	peers []*peer // outgoing connections, indexed by node id
+
+	connMu   sync.Mutex
+	incoming []net.Conn // accepted connections, for shutdown
+
+	errMu    sync.Mutex
+	firstErr error
+
+	wg        sync.WaitGroup // accept loop + per-connection readers
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// peer is the outgoing connection state for one remote node.
+type peer struct {
+	mu       sync.Mutex // serializes dial+write: preserves per-pair FIFO
+	conn     net.Conn
+	everConn bool // a connection has succeeded at least once
+}
+
+// New builds the transport and starts listening. Peers are dialed
+// lazily on first send.
+func New(cfg Config) (*Transport, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	t := &Transport{
+		cfg:    cfg,
+		peers:  make([]*peer, len(cfg.Addrs)),
+		closed: make(chan struct{}),
+	}
+	for i := range t.peers {
+		t.peers[i] = &peer{}
+	}
+	t.ep = &endpoint{t: t, inbox: make(chan *wire.Msg, cfg.InboxDepth)}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Self])
+		if err != nil {
+			return nil, fmt.Errorf("tcp: node %d listen %s: %w", cfg.Self, cfg.Addrs[cfg.Self], err)
+		}
+	}
+	t.ln = ln
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Name implements transport.Transport.
+func (t *Transport) Name() string { return "tcp" }
+
+// Nodes implements transport.Transport.
+func (t *Transport) Nodes() int { return len(t.cfg.Addrs) }
+
+// Endpoint implements transport.Transport: only Self is local.
+func (t *Transport) Endpoint(id transport.NodeID) transport.Endpoint {
+	if id != t.cfg.Self {
+		return nil
+	}
+	return t.ep
+}
+
+// Counters implements transport.Transport.
+func (t *Transport) Counters() transport.CountersSnapshot { return t.ctr.Snapshot() }
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Err returns the first connection-level error the transport
+// recorded (handshake rejections, corrupt frames), or nil.
+func (t *Transport) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.firstErr
+}
+
+func (t *Transport) fail(err error) {
+	t.errMu.Lock()
+	if t.firstErr == nil {
+		t.firstErr = err
+	}
+	t.errMu.Unlock()
+}
+
+// Close implements transport.Transport: stop accepting, tear down
+// every connection, wait for the readers, close the inbox.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		_ = t.ln.Close()
+		t.connMu.Lock()
+		for _, c := range t.incoming {
+			_ = c.Close()
+		}
+		t.connMu.Unlock()
+		for _, p := range t.peers {
+			p.mu.Lock()
+			if p.conn != nil {
+				_ = p.conn.Close()
+				p.conn = nil
+			}
+			p.mu.Unlock()
+		}
+		t.wg.Wait()
+		close(t.ep.inbox)
+	})
+}
+
+func (t *Transport) isClosed() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------
+// Accept side
+// ---------------------------------------------------------------
+
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal accept error.
+			return
+		}
+		t.connMu.Lock()
+		if t.isClosed() {
+			t.connMu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		t.incoming = append(t.incoming, conn)
+		t.wg.Add(1)
+		t.connMu.Unlock()
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn verifies one incoming connection's handshake and then
+// delivers its frames until it breaks or the transport closes.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	from, err := t.verifyHandshake(conn)
+	if err != nil {
+		t.fail(fmt.Errorf("tcp: node %d: rejected connection from %s: %w", t.cfg.Self, conn.RemoteAddr(), err))
+		reason := err.Error()
+		if len(reason) > maxRejectLen {
+			reason = reason[:maxRejectLen]
+		}
+		reply := make([]byte, 3, 3+len(reason))
+		reply[0] = replyReject
+		binary.LittleEndian.PutUint16(reply[1:], uint16(len(reason)))
+		reply = append(reply, reason...)
+		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+		_, _ = conn.Write(reply)
+		return
+	}
+	if _, err := conn.Write([]byte{replyOK}); err != nil {
+		return
+	}
+	t.ctr.Accepts.Add(1)
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			// EOF/reset: peer closed or died; its dialer owns recovery.
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr)
+		if n < 1 || n > wire.MaxEncodedSize {
+			t.fail(fmt.Errorf("tcp: node %d: frame length %d from node %d out of range", t.cfg.Self, n, from))
+			return
+		}
+		raw := make([]byte, n)
+		if _, err := io.ReadFull(conn, raw); err != nil {
+			return
+		}
+		m, err := wire.Decode(raw)
+		if err != nil {
+			t.fail(fmt.Errorf("tcp: node %d: corrupt frame from node %d: %w", t.cfg.Self, from, err))
+			return
+		}
+		t.ctr.MsgsRecv.Add(1)
+		t.ctr.BytesRecv.Add(int64(len(raw)))
+		if st := t.ep.stats(); st != nil {
+			st.MsgsRecv.Add(1)
+			st.BytesRecv.Add(int64(len(raw)))
+		}
+		select {
+		case t.ep.inbox <- m:
+		case <-t.closed:
+			return
+		}
+	}
+}
+
+// verifyHandshake reads and checks a dialer's handshake, returning
+// the peer's node id.
+func (t *Transport) verifyHandshake(conn net.Conn) (transport.NodeID, error) {
+	_ = conn.SetReadDeadline(time.Now().Add(t.cfg.DialTimeout + t.cfg.DialWindow))
+	defer conn.SetReadDeadline(time.Time{})
+	buf := make([]byte, handshakeSize)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return -1, fmt.Errorf("short handshake: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(buf[0:]); got != magic {
+		return -1, fmt.Errorf("bad magic %#x (not a DSM transport peer?)", got)
+	}
+	if v := buf[4]; v != wire.Version {
+		return -1, fmt.Errorf("frame version mismatch: peer speaks v%d, this build speaks v%d — rebuild so all nodes run the same binary", v, wire.Version)
+	}
+	from := transport.NodeID(binary.LittleEndian.Uint32(buf[5:]))
+	nodes := int(binary.LittleEndian.Uint32(buf[9:]))
+	digest := binary.LittleEndian.Uint64(buf[13:])
+	if nodes != len(t.cfg.Addrs) {
+		return -1, fmt.Errorf("cluster size mismatch: peer %d says %d nodes, this node has %d", from, nodes, len(t.cfg.Addrs))
+	}
+	if from < 0 || int(from) >= len(t.cfg.Addrs) || from == t.cfg.Self {
+		return -1, fmt.Errorf("invalid peer node id %d (self %d, cluster of %d)", from, t.cfg.Self, len(t.cfg.Addrs))
+	}
+	if digest != t.cfg.ConfigDigest {
+		return -1, fmt.Errorf("config digest mismatch: peer %d has %#x, this node has %#x — the processes were started with different cluster configurations", from, digest, t.cfg.ConfigDigest)
+	}
+	return from, nil
+}
+
+// ---------------------------------------------------------------
+// Dial side
+// ---------------------------------------------------------------
+
+// dial establishes, handshakes, and returns a connection to node id.
+// patient selects the bring-up path (retry for DialWindow)
+// over the fail-fast redial path.
+func (t *Transport) dial(id transport.NodeID, patient bool) (net.Conn, error) {
+	addr := t.cfg.Addrs[id]
+	deadline := time.Now().Add(t.cfg.DialWindow)
+	backoff := dialBackoffMin
+	for {
+		if t.isClosed() {
+			return nil, fmt.Errorf("tcp: transport closed")
+		}
+		conn, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+		if err == nil {
+			if err = t.handshake(conn, id); err != nil {
+				_ = conn.Close()
+				// A handshake rejection is permanent: the peer is up but
+				// incompatible. Retrying cannot help.
+				return nil, err
+			}
+			return conn, nil
+		}
+		if !patient || !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("tcp: node %d: dial node %d (%s): %w", t.cfg.Self, id, addr, err)
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-t.closed:
+			timer.Stop()
+			return nil, fmt.Errorf("tcp: transport closed")
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > dialBackoffMax {
+			backoff = dialBackoffMax
+		}
+	}
+}
+
+// handshake sends this node's identity and waits for the acceptor's
+// verdict.
+func (t *Transport) handshake(conn net.Conn, to transport.NodeID) error {
+	buf := make([]byte, handshakeSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	buf[4] = wire.Version
+	binary.LittleEndian.PutUint32(buf[5:], uint32(t.cfg.Self))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(len(t.cfg.Addrs)))
+	binary.LittleEndian.PutUint64(buf[13:], t.cfg.ConfigDigest)
+	_ = conn.SetDeadline(time.Now().Add(t.cfg.DialTimeout + t.cfg.DialWindow))
+	defer conn.SetDeadline(time.Time{})
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("tcp: node %d: handshake write to node %d: %w", t.cfg.Self, to, err)
+	}
+	status := make([]byte, 1)
+	if _, err := io.ReadFull(conn, status); err != nil {
+		return fmt.Errorf("tcp: node %d: handshake reply from node %d: %w", t.cfg.Self, to, err)
+	}
+	if status[0] == replyOK {
+		return nil
+	}
+	lenBuf := make([]byte, 2)
+	reason := "(no reason received)"
+	if _, err := io.ReadFull(conn, lenBuf); err == nil {
+		n := binary.LittleEndian.Uint16(lenBuf)
+		if n > 0 && n <= maxRejectLen {
+			msg := make([]byte, n)
+			if _, err := io.ReadFull(conn, msg); err == nil {
+				reason = string(msg)
+			}
+		}
+	}
+	err := fmt.Errorf("tcp: node %d: node %d rejected the connection: %s", t.cfg.Self, to, reason)
+	t.fail(err)
+	return err
+}
+
+// ---------------------------------------------------------------
+// Endpoint
+// ---------------------------------------------------------------
+
+// endpoint is the local node's transport.Endpoint.
+type endpoint struct {
+	t     *Transport
+	inbox chan *wire.Msg
+
+	stMu sync.Mutex
+	st   *stats.Node
+}
+
+// ID implements transport.Endpoint.
+func (e *endpoint) ID() transport.NodeID { return e.t.cfg.Self }
+
+// SetStats implements transport.Endpoint.
+func (e *endpoint) SetStats(st *stats.Node) {
+	e.stMu.Lock()
+	e.st = st
+	e.stMu.Unlock()
+}
+
+func (e *endpoint) stats() *stats.Node {
+	e.stMu.Lock()
+	defer e.stMu.Unlock()
+	return e.st
+}
+
+// Recv implements transport.Endpoint.
+func (e *endpoint) Recv() <-chan *wire.Msg { return e.inbox }
+
+// Send implements transport.Endpoint: encode once, frame, and write
+// on the peer's connection (dialing it if needed). A self-addressed
+// message takes the in-process path through the same encode/decode
+// round trip, uncounted, exactly like the simulator.
+func (e *endpoint) Send(m *wire.Msg) error {
+	t := e.t
+	if t.isClosed() {
+		return fmt.Errorf("tcp: transport closed")
+	}
+	to := m.To
+	if to < 0 || int(to) >= len(t.cfg.Addrs) {
+		return fmt.Errorf("tcp: send to invalid node %d (cluster of %d)", to, len(t.cfg.Addrs))
+	}
+	frame := make([]byte, 4, 4+m.EncodedSize())
+	frame = m.Encode(frame)
+	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
+	if to == t.cfg.Self {
+		dm, err := wire.Decode(frame[4:])
+		if err != nil {
+			return fmt.Errorf("tcp: self-send encode round trip: %w", err)
+		}
+		select {
+		case e.inbox <- dm:
+			return nil
+		case <-t.closed:
+			return fmt.Errorf("tcp: transport closed")
+		}
+	}
+	p := t.peers[to]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		patient := !p.everConn
+		conn, err := t.dial(to, patient)
+		if err != nil {
+			t.ctr.SendErrors.Add(1)
+			return err
+		}
+		if p.everConn {
+			t.ctr.Redials.Add(1)
+		} else {
+			t.ctr.Dials.Add(1)
+		}
+		p.conn = conn
+		p.everConn = true
+	}
+	if _, err := p.conn.Write(frame); err != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+		t.ctr.SendErrors.Add(1)
+		return fmt.Errorf("tcp: node %d: send %v to node %d: %w", t.cfg.Self, m.Kind, to, err)
+	}
+	t.ctr.MsgsSent.Add(1)
+	t.ctr.BytesSent.Add(int64(len(frame) - 4))
+	if st := e.stats(); st != nil {
+		st.MsgsSent.Add(1)
+		st.BytesSent.Add(int64(len(frame) - 4))
+	}
+	return nil
+}

@@ -1,0 +1,287 @@
+package tcp
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/transport/transporttest"
+	"repro/internal/wire"
+)
+
+// newLoopbackCluster builds an n-node TCP cluster inside one test
+// process: n listeners on 127.0.0.1:0, n Transport handles.
+func newLoopbackCluster(t testing.TB, n int, digest uint64) []*Transport {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	trs := make([]*Transport, n)
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{
+			Self:         transport.NodeID(i),
+			Addrs:        addrs,
+			Listener:     lns[i],
+			ConfigDigest: digest,
+			DialWindow:   5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("tcp.New node %d: %v", i, err)
+		}
+		trs[i] = tr
+		t.Cleanup(tr.Close)
+	}
+	return trs
+}
+
+// TestTransportConformance runs the shared transport contract suite
+// against the TCP backend.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, func(t *testing.T, n int) ([]transport.Endpoint, func() transport.CountersSnapshot, func()) {
+		trs := newLoopbackCluster(t, n, 0xfeed)
+		eps := make([]transport.Endpoint, n)
+		for i := range trs {
+			eps[i] = trs[i].Endpoint(transport.NodeID(i))
+		}
+		counters := func() transport.CountersSnapshot {
+			var sum transport.CountersSnapshot
+			for _, tr := range trs {
+				sum = sum.Add(tr.Counters())
+			}
+			return sum
+		}
+		closeAll := func() {
+			for _, tr := range trs {
+				tr.Close()
+			}
+		}
+		return eps, counters, closeAll
+	})
+}
+
+// TestDigestMismatchFailsFast: peers started with different cluster
+// configurations reject each other with a clear error.
+func TestDigestMismatchFailsFast(t *testing.T) {
+	ln0, _ := net.Listen("tcp", "127.0.0.1:0")
+	ln1, _ := net.Listen("tcp", "127.0.0.1:0")
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	t0, err := New(Config{Self: 0, Addrs: addrs, Listener: ln0, ConfigDigest: 0xAAAA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	t1, err := New(Config{Self: 1, Addrs: addrs, Listener: ln1, ConfigDigest: 0xBBBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	err = t0.Endpoint(0).Send(&wire.Msg{Kind: wire.KAck, To: 1})
+	if err == nil {
+		t.Fatalf("send across mismatched digests succeeded, want handshake rejection")
+	}
+	if !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("want a digest-mismatch error, got: %v", err)
+	}
+	if t1.Err() == nil || !strings.Contains(t1.Err().Error(), "digest mismatch") {
+		t.Fatalf("acceptor did not record the rejection: %v", t1.Err())
+	}
+}
+
+// TestClusterSizeMismatchFailsFast: a peer from a differently sized
+// cluster is rejected.
+func TestClusterSizeMismatchFailsFast(t *testing.T) {
+	trs := newLoopbackCluster(t, 2, 7)
+	// A third transport believing in a 3-node cluster that reuses
+	// node 1's address as its peer.
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	rogue, err := New(Config{
+		Self:         2,
+		Addrs:        []string{trs[0].Addr(), trs[1].Addr(), ln.Addr().String()},
+		Listener:     ln,
+		ConfigDigest: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rogue.Close()
+	err = rogue.Endpoint(2).Send(&wire.Msg{Kind: wire.KAck, To: 1})
+	if err == nil || !strings.Contains(err.Error(), "size mismatch") {
+		t.Fatalf("want cluster-size mismatch error, got: %v", err)
+	}
+}
+
+// TestVersionMismatchFailsFast drives the acceptor with a raw
+// handshake claiming a future frame version.
+func TestVersionMismatchFailsFast(t *testing.T) {
+	trs := newLoopbackCluster(t, 2, 7)
+	conn, err := net.Dial("tcp", trs[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, handshakeSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	buf[4] = wire.Version + 1
+	binary.LittleEndian.PutUint32(buf[5:], 0)
+	binary.LittleEndian.PutUint32(buf[9:], 2)
+	binary.LittleEndian.PutUint64(buf[13:], 7)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	status := make([]byte, 1)
+	if _, err := io.ReadFull(conn, status); err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != replyReject {
+		t.Fatalf("acceptor accepted a future frame version")
+	}
+	if e := trs[1].Err(); e == nil || !strings.Contains(e.Error(), "version mismatch") {
+		t.Fatalf("acceptor did not record the version rejection: %v", e)
+	}
+}
+
+// TestBadMagicRejected: a non-DSM client is turned away cleanly.
+func TestBadMagicRejected(t *testing.T) {
+	trs := newLoopbackCluster(t, 2, 7)
+	conn, err := net.Dial("tcp", trs[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	status := make([]byte, 1)
+	if _, err := io.ReadFull(conn, status); err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != replyReject {
+		t.Fatalf("acceptor accepted garbage magic")
+	}
+}
+
+// TestOversizedFrameRejected: a hostile length prefix cannot force
+// an allocation; the connection is dropped and the error recorded.
+func TestOversizedFrameRejected(t *testing.T) {
+	trs := newLoopbackCluster(t, 2, 7)
+	conn, err := net.Dial("tcp", trs[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, handshakeSize)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	buf[4] = wire.Version
+	binary.LittleEndian.PutUint32(buf[5:], 0)
+	binary.LittleEndian.PutUint32(buf[9:], 2)
+	binary.LittleEndian.PutUint64(buf[13:], 7)
+	if _, err := conn.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	status := make([]byte, 1)
+	if _, err := io.ReadFull(conn, status); err != nil {
+		t.Fatal(err)
+	}
+	if status[0] != replyOK {
+		t.Fatalf("valid handshake rejected")
+	}
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(wire.MaxEncodedSize)+1)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	// The transport must close the connection without reading a body.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatalf("connection still open after oversized frame header")
+	}
+	if e := trs[1].Err(); e == nil || !strings.Contains(e.Error(), "frame length") {
+		t.Fatalf("oversized frame not recorded: %v", e)
+	}
+}
+
+// TestDeadPeerSurfacesError: killing a peer makes sends to it fail
+// with a clear transport error instead of hanging.
+func TestDeadPeerSurfacesError(t *testing.T) {
+	trs := newLoopbackCluster(t, 2, 7)
+	ep := trs[0].Endpoint(0)
+	if err := ep.Send(&wire.Msg{Kind: wire.KAck, To: 1}); err != nil {
+		t.Fatalf("initial send: %v", err)
+	}
+	trs[1].Close() // the peer "dies"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		err := ep.Send(&wire.Msg{Kind: wire.KAck, To: 1})
+		if err != nil {
+			if !strings.Contains(err.Error(), "node 1") {
+				t.Fatalf("dead-peer error does not name the peer: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sends to a dead peer kept succeeding")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if trs[0].Counters().SendErrors == 0 {
+		t.Fatalf("send errors not counted")
+	}
+}
+
+// TestLazyDialCoversStartupSkew: a send issued before the peer is
+// listening succeeds once the peer comes up within the dial window.
+func TestLazyDialCoversStartupSkew(t *testing.T) {
+	// Reserve an address for node 1 without starting it.
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := ln1.Addr().String()
+	ln1.Close()
+	ln0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln0.Addr().String(), addr1}
+	t0, err := New(Config{Self: 0, Addrs: addrs, Listener: ln0, ConfigDigest: 7, DialWindow: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t0.Close()
+	sent := make(chan error, 1)
+	go func() {
+		sent <- t0.Endpoint(0).Send(&wire.Msg{Kind: wire.KAck, To: 1, Req: 5})
+	}()
+	time.Sleep(300 * time.Millisecond) // node 1 starts late
+	ln1b, err := net.Listen("tcp", addr1)
+	if err != nil {
+		t.Skipf("could not rebind reserved port (race with another process): %v", err)
+	}
+	t1, err := New(Config{Self: 1, Addrs: addrs, Listener: ln1b, ConfigDigest: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	if err := <-sent; err != nil {
+		t.Fatalf("send across startup skew: %v", err)
+	}
+	select {
+	case m := <-t1.Endpoint(1).Recv():
+		if m.Req != 5 {
+			t.Fatalf("got req %d, want 5", m.Req)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("message never delivered")
+	}
+}

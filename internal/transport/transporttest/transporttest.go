@@ -1,0 +1,257 @@
+// Package transporttest is the shared conformance suite every
+// transport backend must pass: per-pair FIFO ordering, concurrent
+// senders, payload copy semantics, self-delivery, close semantics,
+// and counter accuracy. internal/simnet and internal/transport/tcp
+// both run it; a future backend plugs into the same contract by
+// adding one test file that calls Run with its factory.
+package transporttest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Factory builds an n-node transport and returns one endpoint per
+// node. Cleanup (closing the transport(s)) is registered on t; tests
+// that need to close early use the returned close function, which
+// must be idempotent. Backends hosting one node per Transport handle
+// (tcp) return endpoints drawn from n handles.
+type Factory func(t *testing.T, n int) (eps []transport.Endpoint, counters func() transport.CountersSnapshot, closeAll func())
+
+const recvTimeout = 10 * time.Second
+
+// recvOne receives one message or fails the test.
+func recvOne(t *testing.T, ep transport.Endpoint) *wire.Msg {
+	t.Helper()
+	select {
+	case m, ok := <-ep.Recv():
+		if !ok {
+			t.Fatalf("recv channel closed while a message was expected")
+		}
+		return m
+	case <-time.After(recvTimeout):
+		t.Fatalf("timed out waiting for a message on node %d", ep.ID())
+	}
+	return nil
+}
+
+// Run executes the conformance suite against the backend built by f.
+func Run(t *testing.T, f Factory) {
+	t.Run("PairFIFO", func(t *testing.T) { testPairFIFO(t, f) })
+	t.Run("ConcurrentSenders", func(t *testing.T) { testConcurrentSenders(t, f) })
+	t.Run("PayloadCopy", func(t *testing.T) { testPayloadCopy(t, f) })
+	t.Run("SelfSend", func(t *testing.T) { testSelfSend(t, f) })
+	t.Run("StatsAccuracy", func(t *testing.T) { testStatsAccuracy(t, f) })
+	t.Run("TransportCounters", func(t *testing.T) { testTransportCounters(t, f) })
+	t.Run("CloseSemantics", func(t *testing.T) { testCloseSemantics(t, f) })
+}
+
+// testPairFIFO: messages on one directed pair arrive in send order.
+func testPairFIFO(t *testing.T, f Factory) {
+	eps, _, _ := f(t, 2)
+	const k = 200
+	for i := 0; i < k; i++ {
+		m := &wire.Msg{Kind: wire.KAck, To: 1, Req: uint64(i) + 1}
+		if err := eps[0].Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		m := recvOne(t, eps[1])
+		if m.Req != uint64(i)+1 {
+			t.Fatalf("message %d: got req %d, want %d (FIFO violated)", i, m.Req, i+1)
+		}
+		if m.From != 0 {
+			t.Fatalf("message %d: From = %d, want 0 (sender stamp)", i, m.From)
+		}
+	}
+}
+
+// testConcurrentSenders: many senders to one receiver; everything
+// arrives exactly once and per-sender order is preserved.
+func testConcurrentSenders(t *testing.T, f Factory) {
+	const n, per = 4, 100
+	eps, _, _ := f(t, n)
+	var wg sync.WaitGroup
+	for s := 1; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m := &wire.Msg{Kind: wire.KAck, To: 0, Req: uint64(i) + 1, Arg: uint64(s)}
+				if err := eps[s].Send(m); err != nil {
+					t.Errorf("sender %d send %d: %v", s, i, err)
+					return
+				}
+			}
+		}(s)
+	}
+	next := make([]uint64, n)
+	for got := 0; got < (n-1)*per; got++ {
+		m := recvOne(t, eps[0])
+		s := int(m.Arg)
+		if s < 1 || s >= n {
+			t.Fatalf("unexpected sender tag %d", s)
+		}
+		if m.Req != next[s]+1 {
+			t.Fatalf("sender %d: got req %d, want %d (per-sender order violated)", s, m.Req, next[s]+1)
+		}
+		next[s] = m.Req
+	}
+	wg.Wait()
+	for s := 1; s < n; s++ {
+		if next[s] != per {
+			t.Fatalf("sender %d: received %d messages, want %d", s, next[s], per)
+		}
+	}
+}
+
+// testPayloadCopy: Data/Aux round-trip intact, and mutating the
+// message after Send does not corrupt the delivery (encode-at-send
+// copy semantics).
+func testPayloadCopy(t *testing.T, f Factory) {
+	eps, _, _ := f(t, 2)
+	data := []byte{1, 2, 3, 4, 5}
+	aux := []byte{9, 8, 7}
+	m := &wire.Msg{Kind: wire.KDiffReply, To: 1, Req: 42, Page: 7, Lock: -3, Arg: 1 << 40, B: 99, Data: data, Aux: aux}
+	if err := eps[0].Send(m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	// Mutate everything the sender handed over.
+	for i := range data {
+		data[i] = 0xFF
+	}
+	for i := range aux {
+		aux[i] = 0xFF
+	}
+	m.Req = 0
+	got := recvOne(t, eps[1])
+	if got.Req != 42 || got.Page != 7 || got.Lock != -3 || got.Arg != 1<<40 || got.B != 99 {
+		t.Fatalf("scalar fields corrupted: %+v", got)
+	}
+	if fmt.Sprint(got.Data) != fmt.Sprint([]byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("Data = %v, want [1 2 3 4 5]", got.Data)
+	}
+	if fmt.Sprint(got.Aux) != fmt.Sprint([]byte{9, 8, 7}) {
+		t.Fatalf("Aux = %v, want [9 8 7]", got.Aux)
+	}
+}
+
+// testSelfSend: a self-addressed message is delivered and is not
+// counted as network traffic.
+func testSelfSend(t *testing.T, f Factory) {
+	eps, _, _ := f(t, 2)
+	st := &stats.Node{}
+	eps[0].SetStats(st)
+	if err := eps[0].Send(&wire.Msg{Kind: wire.KAck, To: 0, Req: 77}); err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	m := recvOne(t, eps[0])
+	if m.Req != 77 {
+		t.Fatalf("self delivery: got req %d, want 77", m.Req)
+	}
+	if s := st.MsgsSent.Load(); s != 0 {
+		t.Fatalf("self send counted as traffic: MsgsSent = %d, want 0", s)
+	}
+	if r := st.MsgsRecv.Load(); r != 0 {
+		t.Fatalf("self delivery counted as traffic: MsgsRecv = %d, want 0", r)
+	}
+}
+
+// testStatsAccuracy: per-node stats count exactly the encoded bytes
+// and messages that crossed the substrate.
+func testStatsAccuracy(t *testing.T, f Factory) {
+	eps, _, _ := f(t, 2)
+	st0, st1 := &stats.Node{}, &stats.Node{}
+	eps[0].SetStats(st0)
+	eps[1].SetStats(st1)
+	var wantBytes int64
+	const k = 50
+	for i := 0; i < k; i++ {
+		m := &wire.Msg{Kind: wire.KPageReply, To: 1, Req: uint64(i) + 1, Data: make([]byte, i*7)}
+		wantBytes += int64(m.EncodedSize())
+		if err := eps[0].Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		recvOne(t, eps[1])
+	}
+	if got := st0.MsgsSent.Load(); got != k {
+		t.Fatalf("MsgsSent = %d, want %d", got, k)
+	}
+	if got := st0.BytesSent.Load(); got != wantBytes {
+		t.Fatalf("BytesSent = %d, want %d", got, wantBytes)
+	}
+	if got := st1.MsgsRecv.Load(); got != k {
+		t.Fatalf("MsgsRecv = %d, want %d", got, k)
+	}
+	if got := st1.BytesRecv.Load(); got != wantBytes {
+		t.Fatalf("BytesRecv = %d, want %d", got, wantBytes)
+	}
+}
+
+// testTransportCounters: the transport-level counters agree with the
+// traffic that crossed it.
+func testTransportCounters(t *testing.T, f Factory) {
+	eps, counters, _ := f(t, 2)
+	var wantBytes int64
+	const k = 25
+	for i := 0; i < k; i++ {
+		m := &wire.Msg{Kind: wire.KAck, To: 1, Req: uint64(i) + 1, Data: make([]byte, 16)}
+		wantBytes += int64(m.EncodedSize())
+		if err := eps[0].Send(m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < k; i++ {
+		recvOne(t, eps[1])
+	}
+	// A self-send must not move the counters.
+	if err := eps[0].Send(&wire.Msg{Kind: wire.KAck, To: 0}); err != nil {
+		t.Fatalf("self send: %v", err)
+	}
+	recvOne(t, eps[0])
+	s := counters()
+	if s.MsgsSent != k || s.BytesSent != wantBytes {
+		t.Fatalf("transport sent counters = %d msgs / %d bytes, want %d / %d", s.MsgsSent, s.BytesSent, k, wantBytes)
+	}
+	if s.MsgsRecv != k || s.BytesRecv != wantBytes {
+		t.Fatalf("transport recv counters = %d msgs / %d bytes, want %d / %d", s.MsgsRecv, s.BytesRecv, k, wantBytes)
+	}
+}
+
+// testCloseSemantics: after Close, Recv channels end and Send
+// reports an error.
+func testCloseSemantics(t *testing.T, f Factory) {
+	eps, _, closeAll := f(t, 2)
+	closeAll()
+	for _, ep := range eps {
+		deadline := time.After(recvTimeout)
+		for {
+			closed := false
+			select {
+			case _, ok := <-ep.Recv():
+				if !ok {
+					closed = true
+				}
+				// Drain any message delivered before the close.
+			case <-deadline:
+				t.Fatalf("node %d: Recv channel not closed after transport Close", ep.ID())
+			}
+			if closed {
+				break
+			}
+		}
+	}
+	if err := eps[0].Send(&wire.Msg{Kind: wire.KAck, To: 1}); err == nil {
+		t.Fatalf("Send after Close succeeded, want error")
+	}
+	closeAll() // idempotent
+}

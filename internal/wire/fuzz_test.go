@@ -1,0 +1,108 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns a nontrivial corpus: well-formed encodings of
+// every kind and payload shape, plus systematically corrupted
+// variants (truncations, flipped length fields, bad kinds, stray
+// extended flags).
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	msgs := []*Msg{
+		{Kind: KAck, From: 0, To: 1},
+		{Kind: KLockReq, From: 2, To: 0, Req: 0x1234, Lock: 7, Arg: 1},
+		{Kind: KReadGrant, From: 1, To: 3, Req: 1 << 41, Page: 12, Data: bytes.Repeat([]byte{0xAB}, 1024)},
+		{Kind: KDiffReply, From: 3, To: 0, Req: 99, Data: []byte{1, 2, 3}, Aux: []byte{4, 5}},
+		{Kind: KBarArrive, From: 5, To: 2, Lock: -1, B: ^uint64(0)},
+		{Kind: KConfirm, From: 1, To: 1, Arg: 0xdeadbeef, Attempt: 3},
+		{Kind: KErcFlush, From: 0, To: 7, Page: 1 << 20, Data: make([]byte, 4096), Attempt: 255},
+	}
+	for _, m := range msgs {
+		enc := m.Encode(nil)
+		seeds = append(seeds, enc)
+		// Truncations at interesting boundaries.
+		for _, cut := range []int{0, 1, headerSize - 1, headerSize, len(enc) - 1} {
+			if cut >= 0 && cut < len(enc) {
+				seeds = append(seeds, enc[:cut])
+			}
+		}
+		// Flip each byte of the header (kind, ids, lengths).
+		for i := 0; i < headerSize && i < len(enc); i++ {
+			cp := append([]byte(nil), enc...)
+			cp[i] ^= 0xFF
+			seeds = append(seeds, cp)
+		}
+		// Stray extended flag and oversized length claims.
+		cp := append([]byte(nil), enc...)
+		cp[0] |= kindExtended
+		seeds = append(seeds, cp)
+	}
+	seeds = append(seeds,
+		nil,
+		bytes.Repeat([]byte{0xFF}, headerSize),
+		bytes.Repeat([]byte{0x00}, headerSize+16),
+	)
+	return seeds
+}
+
+// FuzzDecode asserts Decode never panics on arbitrary input, and that
+// accepted messages survive an encode/decode round trip unchanged —
+// mandatory properties now that frames arrive from real sockets.
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Decode(b) // must not panic, whatever b holds
+		if err != nil {
+			return
+		}
+		if m.Kind == KInvalid || m.Kind >= Kind(kindCount) {
+			t.Fatalf("Decode accepted invalid kind %d", m.Kind)
+		}
+		re := m.Encode(nil)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v (original %d bytes)", err, len(b))
+		}
+		if m.Kind != m2.Kind || m.From != m2.From || m.To != m2.To || m.Req != m2.Req ||
+			m.Page != m2.Page || m.Lock != m2.Lock || m.Arg != m2.Arg || m.B != m2.B ||
+			m.Attempt != m2.Attempt || !bytes.Equal(m.Data, m2.Data) || !bytes.Equal(m.Aux, m2.Aux) {
+			t.Fatalf("round trip mismatch:\n  first  %+v\n  second %+v", m, m2)
+		}
+	})
+}
+
+// TestDecodeRejectsCorruptFrames spot-checks the error paths the
+// fuzz corpus exercises, so failures are readable without the fuzzer.
+func TestDecodeRejectsCorruptFrames(t *testing.T) {
+	good := (&Msg{Kind: KReadGrant, From: 1, To: 2, Req: 5, Data: []byte{1, 2, 3}}).Encode(nil)
+	cases := map[string][]byte{
+		"empty":          {},
+		"one byte":       {byte(KAck)},
+		"short header":   good[:headerSize-1],
+		"truncated data": good[:len(good)-1],
+		"trailing junk":  append(append([]byte(nil), good...), 0xEE),
+		"zero kind":      append([]byte{0}, good[1:]...),
+		"huge kind":      append([]byte{0x7F}, good[1:]...),
+	}
+	// Claimed payload length far beyond the buffer.
+	hugeLen := append([]byte(nil), good...)
+	hugeLen[headerSize-8] = 0xFF
+	hugeLen[headerSize-7] = 0xFF
+	hugeLen[headerSize-6] = 0xFF
+	hugeLen[headerSize-5] = 0xFF
+	cases["huge data length"] = hugeLen
+	// Extended flag set but no room for the attempt byte.
+	ext := append([]byte(nil), good[:headerSize]...)
+	ext[0] |= kindExtended
+	cases["extended without room"] = ext[:headerSize]
+	for name, buf := range cases {
+		if _, err := Decode(buf); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}

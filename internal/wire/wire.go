@@ -1,14 +1,27 @@
 // Package wire defines the DSM system's message vocabulary and its
-// binary wire encoding. Although nodes in this repository exchange
-// messages in-process, every message is encoded to bytes and decoded
-// on receipt so that message and byte counts reported by the
-// benchmarks correspond to what a network implementation would carry.
+// binary wire encoding. Every message is encoded to bytes and decoded
+// on receipt — on the simulated network so that message and byte
+// counts are faithful, and on the TCP transport because the bytes
+// really do cross sockets. Decode therefore treats its input as
+// untrusted: every length field is bounds-checked and malformed
+// input yields an error, never a panic (FuzzDecode enforces this).
 package wire
 
 import (
 	"encoding/binary"
 	"fmt"
 )
+
+// Version identifies the frame encoding. Transports exchange it
+// during connection setup so that mismatched builds fail fast with a
+// clear error instead of desynchronizing mid-stream; bump it on any
+// incompatible change to Encode/Decode or the Kind vocabulary.
+const Version byte = 1
+
+// MaxEncodedSize caps one encoded message (64 MiB). Real-socket
+// transports reject longer frames before allocating, so a corrupt or
+// hostile length prefix cannot force an arbitrary allocation.
+const MaxEncodedSize = 64 << 20
 
 // Kind identifies a protocol message type.
 type Kind uint8
@@ -221,10 +234,16 @@ func (m *Msg) Encode(buf []byte) []byte {
 }
 
 // Decode parses one message from buf, which must contain exactly one
-// encoded message.
+// encoded message. buf is untrusted (TCP transports feed it bytes
+// straight off a socket): every length field is bounds-checked, the
+// payload lengths are summed in 64 bits so they cannot overflow, and
+// any inconsistency returns an error. Decode never panics.
 func Decode(buf []byte) (*Msg, error) {
 	if len(buf) < headerSize {
-		return nil, fmt.Errorf("wire: short message: %d bytes", len(buf))
+		return nil, fmt.Errorf("wire: short message: %d bytes, need at least %d", len(buf), headerSize)
+	}
+	if len(buf) > MaxEncodedSize {
+		return nil, fmt.Errorf("wire: oversized message: %d bytes exceeds cap %d", len(buf), MaxEncodedSize)
 	}
 	m := &Msg{}
 	m.Kind = Kind(buf[0] &^ kindExtended)
@@ -246,10 +265,10 @@ func Decode(buf []byte) (*Msg, error) {
 	m.Lock = int32(binary.LittleEndian.Uint32(buf[off+20:]))
 	m.Arg = binary.LittleEndian.Uint64(buf[off+24:])
 	m.B = binary.LittleEndian.Uint64(buf[off+32:])
-	nd := int(binary.LittleEndian.Uint32(buf[off+40:]))
-	na := int(binary.LittleEndian.Uint32(buf[off+44:]))
+	nd := binary.LittleEndian.Uint32(buf[off+40:])
+	na := binary.LittleEndian.Uint32(buf[off+44:])
 	rest := buf[off+48:]
-	if len(rest) != nd+na {
+	if uint64(nd)+uint64(na) != uint64(len(rest)) {
 		return nil, fmt.Errorf("wire: payload length mismatch: header says %d+%d, have %d", nd, na, len(rest))
 	}
 	if nd > 0 {
