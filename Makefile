@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench chaos tcp-smoke experiments examples fmt vet clean
+.PHONY: all build test race short bench bench-alloc chaos tcp-smoke experiments examples fmt vet clean
 
 all: build test
 
@@ -11,11 +11,21 @@ build:
 
 # Default test gate: vet, the full suite, the chaos/reliability and
 # transport packages again under the race detector (their concurrency
-# is the newest and the most delicate), and the multi-process TCP
-# smoke run.
-test: vet tcp-smoke
+# is the newest and the most delicate), the allocation-regression
+# gate, and the multi-process TCP smoke run.
+test: vet tcp-smoke bench-alloc
 	$(GO) test ./... -timeout 1200s
 	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster
+
+# Allocation regression gate. The thresholds are checked into the
+# tests themselves: the ZeroAlloc tests assert 0 allocs/op in steady
+# state for the pooled encode/frame/diff paths (testing.AllocsPerRun
+# with GC parked). The benchmarks print current numbers for the
+# paths that clone by design (receive-side decode).
+bench-alloc:
+	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/
+	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip' \
+		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/
 
 short:
 	$(GO) test ./... -short -timeout 600s

@@ -31,10 +31,16 @@ func main() {
 	for _, p := range core.Protocols() {
 		if p.String() == *protoName {
 			proto, found = p, true
+			break
 		}
 	}
 	if !found {
 		log.Fatalf("unknown protocol %q", *protoName)
+	}
+	switch *scenario {
+	case "producer", "lock", "barrier", "event":
+	default:
+		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event)", *scenario)
 	}
 
 	var mu sync.Mutex
@@ -156,8 +162,6 @@ func main() {
 			_, err := n.ReadUint64(data)
 			return err
 		})
-	default:
-		log.Fatalf("unknown scenario %q", *scenario)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -78,6 +78,7 @@ func All() []Experiment {
 		{"e9", "Synchronization service: locks and barriers", "queue-lock / barrier literature", E9Sync},
 		{"e10", "Twin/diff ablation vs whole-page transfer", "TreadMarks diff studies", E10Diff},
 		{"e11", "Simulator vs real TCP loopback: identical results, measured wire overhead", "transport-independence check", E11Transport},
+		{"e12", "Message batching, diff pushes, and piggybacking", "TreadMarks/Munin communication-aggregation techniques", E12Batching},
 	}
 }
 

@@ -26,40 +26,52 @@ func TestChaosMatrix(t *testing.T) {
 	}
 	protocols := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
 	const nodes = 4
+	// Each cell also runs with message batching on: KBatch frames,
+	// diff pushes, and barrier-piggybacked diffs must survive drops,
+	// duplicates, and partitions exactly like plain messages (pushes
+	// are advisory; batch members carry their own request ids).
 	for _, mk := range workloads {
 		for _, proto := range protocols {
-			app := mk()
-			proto := proto
-			name := fmt.Sprintf("%s/%s", app.Name(), proto)
-			t.Run(name, func(t *testing.T) {
-				t.Parallel()
-				seed := int64(len(name))*7919 + 17
-				plan := DefaultPlan(nodes, seed)
-				c, err := core.NewCluster(plan.Config(nodes, proto, seed))
-				if err != nil {
-					t.Fatalf("NewCluster: %v", err)
+			for _, batch := range []bool{false, true} {
+				app := mk()
+				proto := proto
+				batch := batch
+				name := fmt.Sprintf("%s/%s", app.Name(), proto)
+				if batch {
+					name += "/batch"
 				}
-				defer c.Close()
-				inj := plan.Start(c)
-				err = apps.RunAndVerify(c, app)
-				inj.Stop()
-				if err != nil {
-					t.Fatalf("under chaos: %v", err)
-				}
-				fs := c.FaultStats()
-				if fs.Dropped.Load() == 0 {
-					t.Errorf("no messages dropped — fault injection inactive? stats: %v", fs)
-				}
-				total := c.TotalStats()
-				if total.Retries == 0 {
-					t.Errorf("no retries recorded — reliability layer inactive? faults: %v", fs)
-				}
-				t.Logf("faults: %v; retries=%d dup_requests=%d cached_replies=%d late_replies=%d stray_replies=%d",
-					fs, total.Retries, total.DupRequests, total.CachedReplies, total.LateReplies, total.StrayReplies)
-				if total.StrayReplies > 0 {
-					t.Errorf("stray replies under chaos: %d (late duplicates should be classified separately)", total.StrayReplies)
-				}
-			})
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					seed := int64(len(name))*7919 + 17
+					plan := DefaultPlan(nodes, seed)
+					cfg := plan.Config(nodes, proto, seed)
+					cfg.Batch = batch
+					c, err := core.NewCluster(cfg)
+					if err != nil {
+						t.Fatalf("NewCluster: %v", err)
+					}
+					defer c.Close()
+					inj := plan.Start(c)
+					err = apps.RunAndVerify(c, app)
+					inj.Stop()
+					if err != nil {
+						t.Fatalf("under chaos: %v", err)
+					}
+					fs := c.FaultStats()
+					if fs.Dropped.Load() == 0 {
+						t.Errorf("no messages dropped — fault injection inactive? stats: %v", fs)
+					}
+					total := c.TotalStats()
+					if total.Retries == 0 {
+						t.Errorf("no retries recorded — reliability layer inactive? faults: %v", fs)
+					}
+					t.Logf("faults: %v; retries=%d dup_requests=%d cached_replies=%d late_replies=%d stray_replies=%d",
+						fs, total.Retries, total.DupRequests, total.CachedReplies, total.LateReplies, total.StrayReplies)
+					if total.StrayReplies > 0 {
+						t.Errorf("stray replies under chaos: %d (late duplicates should be classified separately)", total.StrayReplies)
+					}
+				})
+			}
 		}
 	}
 }

@@ -104,13 +104,18 @@ func (s *Service) handleBarArrive(m *wire.Msg) {
 			merged = reply.Data
 		}
 	}
+	rf, _ := s.hooks.(ReleaseFilter)
 	for _, w := range waiters {
+		data := merged
+		if rf != nil {
+			data = rf.BarrierReleaseFor(m.Lock, w.from, merged)
+		}
 		_ = s.rt.Send(&wire.Msg{
 			Kind: wire.KBarRelease,
 			To:   w.from,
 			Req:  w.req,
 			Lock: m.Lock,
-			Data: merged,
+			Data: data,
 		})
 	}
 }

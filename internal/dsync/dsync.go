@@ -67,6 +67,18 @@ type Hooks interface {
 	OnBarrierRelease(barrier int32, payload []byte)
 }
 
+// ReleaseFilter is an optional extension of Hooks. When the engine
+// implements it, each barrier release payload is passed through
+// BarrierReleaseFor with the receiver's identity, letting the engine
+// strip receiver-specific piggybacked state (LRC drops the diffs
+// addressed to other readers) so release bytes stay proportional to
+// what each node actually consumes. It runs at whichever node sends
+// the release (the manager, or a tree-barrier interior node) and must
+// not mutate merged.
+type ReleaseFilter interface {
+	BarrierReleaseFor(barrier int32, to transport.NodeID, merged []byte) []byte
+}
+
 // NopHooks is a Hooks implementation that does nothing; protocols
 // without sync-piggybacked state (SC, write-update) embed it.
 type NopHooks struct{}

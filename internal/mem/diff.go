@@ -22,10 +22,16 @@ import (
 // (the twin). The two slices must have equal length. A nil return
 // means the page is unchanged.
 func CreateDiff(base, cur []byte) []byte {
+	return AppendDiff(nil, base, cur)
+}
+
+// AppendDiff is CreateDiff in append form: the encoding is appended
+// to out (which may be a recycled buffer) and the extended slice
+// returned. An unchanged page appends nothing.
+func AppendDiff(out, base, cur []byte) []byte {
 	if len(base) != len(cur) {
 		panic(fmt.Sprintf("mem: CreateDiff: twin length %d != page length %d", len(base), len(cur)))
 	}
-	var out []byte
 	prevEnd := 0
 	i := 0
 	n := len(cur)

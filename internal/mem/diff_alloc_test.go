@@ -1,0 +1,68 @@
+package mem
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// diffFixture builds a 4 KiB page pair with a few scattered dirty
+// runs, the shape a red/black sweep leaves behind.
+func diffFixture() (base, cur []byte) {
+	base = make([]byte, 4096)
+	cur = make([]byte, 4096)
+	for i := range base {
+		base[i] = byte(i)
+		cur[i] = byte(i)
+	}
+	for _, run := range [][2]int{{0, 64}, {512, 32}, {1024, 128}, {4000, 90}} {
+		for i := run[0]; i < run[0]+run[1]; i++ {
+			cur[i] ^= 0xa5
+		}
+	}
+	return base, cur
+}
+
+func BenchmarkAppendDiff(b *testing.B) {
+	base, cur := diffFixture()
+	out := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out = AppendDiff(out[:0], base, cur)
+	}
+}
+
+func BenchmarkApplyDiff(b *testing.B) {
+	base, cur := diffFixture()
+	diff := CreateDiff(base, cur)
+	dst := append([]byte(nil), base...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ApplyDiff(dst, diff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDiffZeroAllocSteadyState pins the pooled twin-diff paths: both
+// creating a diff into a reused buffer and applying one in place are
+// allocation-free.
+func TestDiffZeroAllocSteadyState(t *testing.T) {
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+	base, cur := diffFixture()
+	out := make([]byte, 0, 1024)
+	if n := testing.AllocsPerRun(200, func() {
+		out = AppendDiff(out[:0], base, cur)
+	}); n != 0 {
+		t.Fatalf("AppendDiff allocates %.1f objects/op into a reused buffer, want 0", n)
+	}
+	diff := CreateDiff(base, cur)
+	dst := append([]byte(nil), base...)
+	if n := testing.AllocsPerRun(200, func() {
+		if err := ApplyDiff(dst, diff); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("ApplyDiff allocates %.1f objects/op, want 0", n)
+	}
+}

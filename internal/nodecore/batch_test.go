@@ -1,0 +1,188 @@
+package nodecore
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// noFlush keeps the latency-cap ticker out of the way so tests control
+// every flush explicitly.
+var noFlush = BatchPolicy{MaxDelay: time.Hour}
+
+// TestSendBatchedFlushDeliversInOrder: queued one-way messages travel
+// in a single KBatch frame on FlushBatches and are dispatched in
+// enqueue order.
+func TestSendBatchedFlushDeliversInOrder(t *testing.T) {
+	a, b, _, _ := pair(t)
+	a.EnableBatching(noFlush)
+	var mu sync.Mutex
+	var got []uint64
+	b.HandleInline(wire.KDiffPush, func(m *wire.Msg) {
+		mu.Lock()
+		got = append(got, m.Arg)
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		if err := a.SendBatched(&wire.Msg{Kind: wire.KDiffPush, To: 1, Arg: uint64(i)}); err != nil {
+			t.Fatalf("SendBatched %d: %v", i, err)
+		}
+	}
+	a.FlushBatches()
+	deadline := time.Now().Add(time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 3 members delivered", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, arg := range got {
+		if arg != uint64(i) {
+			t.Fatalf("members out of order: %v", got)
+		}
+	}
+	if n := a.Stats().BatchedMsgs.Load(); n != 3 {
+		t.Fatalf("BatchedMsgs = %d, want 3", n)
+	}
+	if n := a.Stats().FlushedBatches.Load(); n != 1 {
+		t.Fatalf("FlushedBatches = %d, want 1", n)
+	}
+}
+
+// TestSingleMemberFlushSkipsFraming: a lone queued message goes out as
+// itself — a one-member batch would only add bytes.
+func TestSingleMemberFlushSkipsFraming(t *testing.T) {
+	a, b, _, _ := pair(t)
+	a.EnableBatching(noFlush)
+	delivered := make(chan uint64, 1)
+	b.HandleInline(wire.KDiffPush, func(m *wire.Msg) { delivered <- m.Arg })
+	if err := a.SendBatched(&wire.Msg{Kind: wire.KDiffPush, To: 1, Arg: 7}); err != nil {
+		t.Fatal(err)
+	}
+	a.FlushBatches()
+	select {
+	case arg := <-delivered:
+		if arg != 7 {
+			t.Fatalf("Arg = %d", arg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("single queued message never delivered")
+	}
+	if n := a.Stats().FlushedBatches.Load(); n != 0 {
+		t.Fatalf("FlushedBatches = %d for a single-member queue, want 0", n)
+	}
+}
+
+// TestDirectSendPiggybacksPending: a direct Send to a destination with
+// queued messages carries them in the same frame, ahead of it.
+func TestDirectSendPiggybacksPending(t *testing.T) {
+	a, b, _, _ := pair(t)
+	a.EnableBatching(noFlush)
+	var mu sync.Mutex
+	var pushes []uint64
+	b.HandleInline(wire.KDiffPush, func(m *wire.Msg) {
+		mu.Lock()
+		pushes = append(pushes, m.Arg)
+		mu.Unlock()
+	})
+	for i := 0; i < 2; i++ {
+		if err := a.SendBatched(&wire.Msg{Kind: wire.KDiffPush, To: 1, Arg: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The call's request is a direct Send; its reply proves the shared
+	// frame arrived, and the inline push handlers ran while the frame's
+	// members were dispatched — before the request's own handler.
+	reply, err := a.Call(&wire.Msg{Kind: wire.KPageReq, To: 1, Arg: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Arg != 42 {
+		t.Fatalf("reply Arg = %d", reply.Arg)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(pushes) != 2 || pushes[0] != 0 || pushes[1] != 1 {
+		t.Fatalf("pushes = %v, want [0 1] delivered ahead of the call", pushes)
+	}
+	if n := a.Stats().BatchedMsgs.Load(); n != 3 {
+		t.Fatalf("BatchedMsgs = %d, want 3 (2 pending + 1 direct)", n)
+	}
+	if n := a.Stats().FlushedBatches.Load(); n != 1 {
+		t.Fatalf("FlushedBatches = %d, want 1", n)
+	}
+}
+
+// TestCallBatchedGroupsSameDestination: same-destination requests
+// share one first-transmission frame and still reply individually.
+func TestCallBatchedGroupsSameDestination(t *testing.T) {
+	a, _, _, _ := pair(t)
+	a.EnableBatching(noFlush)
+	msgs := []*wire.Msg{
+		{Kind: wire.KPageReq, To: 1, Arg: 10},
+		{Kind: wire.KPageReq, To: 1, Arg: 20},
+	}
+	replies, err := a.CallBatched(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 || replies[0].Arg != 11 || replies[1].Arg != 21 {
+		t.Fatalf("replies = %+v", replies)
+	}
+	if n := a.Stats().FlushedBatches.Load(); n != 1 {
+		t.Fatalf("FlushedBatches = %d, want 1", n)
+	}
+	if n := a.Stats().BatchedMsgs.Load(); n != 2 {
+		t.Fatalf("BatchedMsgs = %d, want 2", n)
+	}
+}
+
+// TestMalformedBatchDropped: a KBatch frame that does not decode is
+// dropped whole without disturbing the runtime.
+func TestMalformedBatchDropped(t *testing.T) {
+	a, _, _, _ := pair(t)
+	if err := a.ep.Send(&wire.Msg{Kind: wire.KBatch, From: 0, To: 1, Data: []byte{0xff, 0xff, 0x01}}); err != nil {
+		t.Fatal(err)
+	}
+	// The receiver must still serve requests after eating the frame.
+	reply, err := a.Call(&wire.Msg{Kind: wire.KPageReq, To: 1, Arg: 1})
+	if err != nil {
+		t.Fatalf("call after malformed batch: %v", err)
+	}
+	if reply.Arg != 2 {
+		t.Fatalf("reply Arg = %d", reply.Arg)
+	}
+}
+
+// TestRetryLoopHonorsDeadline: once the overall deadline is spent, a
+// reliable call reports the timeout instead of cycling through
+// minimum-wait retransmissions (the old behaviour could spin on a
+// 1ms-floor retransmit loop well past the deadline).
+func TestRetryLoopHonorsDeadline(t *testing.T) {
+	a, b := reliablePair(t, nil,
+		RetryPolicy{AttemptTimeout: 5 * time.Millisecond, BackoffCap: 10 * time.Millisecond, MaxAttempts: 100})
+	b.Handle(wire.KDiffReq, func(m *wire.Msg) {}) // never replies
+	start := time.Now()
+	_, err := a.CallT(&wire.Msg{Kind: wire.KDiffReq, To: 1}, 40*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call to a silent handler succeeded")
+	}
+	if !strings.Contains(err.Error(), "timed out") || !strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("error %q does not describe the timeout", err)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("deadline 40ms but call held on for %v", elapsed)
+	}
+}

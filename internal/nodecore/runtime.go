@@ -76,6 +76,7 @@ type Runtime struct {
 	direct    DirectEngine // non-nil iff engine implements DirectEngine
 	collector *advisor.Collector
 	handlers  []func(*wire.Msg)
+	inline    []bool // kinds handled on the dispatch goroutine itself
 
 	pendMu  sync.Mutex
 	pending map[uint64]*pendingCall
@@ -95,6 +96,9 @@ type Runtime struct {
 	retryRng  uint64
 	dedup     *dedupTable
 	completed *completedRing
+
+	// Batching layer (inactive unless EnableBatching was called).
+	batcher *batcher
 
 	dispatched atomic.Int64 // messages processed by the dispatch loop
 }
@@ -149,6 +153,7 @@ func New(id transport.NodeID, n int, ep transport.Endpoint, tbl *mem.Table, st *
 		tbl:         tbl,
 		st:          st,
 		handlers:    make([]func(*wire.Msg), wire.NumKinds()),
+		inline:      make([]bool, wire.NumKinds()),
 		pending:     make(map[uint64]*pendingCall),
 		callTimeout: 30 * time.Second,
 		done:        make(chan struct{}),
@@ -239,6 +244,16 @@ func (r *Runtime) Handle(k wire.Kind, fn func(*wire.Msg)) {
 	r.handlers[k] = fn
 }
 
+// HandleInline installs fn like Handle but runs it synchronously on
+// the dispatch goroutine, so the handler's effect is ordered before
+// every later-delivered message. Only for handlers that never block
+// and never perform nested RPC — one-way notifications like diff
+// pushes, where ordering relative to a following release matters.
+func (r *Runtime) HandleInline(k wire.Kind, fn func(*wire.Msg)) {
+	r.Handle(k, fn)
+	r.inline[k] = true
+}
+
 // Start launches the dispatch loop.
 func (r *Runtime) Start() {
 	r.dispatchWG.Add(1)
@@ -249,6 +264,9 @@ func (r *Runtime) Start() {
 // network must be closed first so the receive channel ends).
 func (r *Runtime) Close() {
 	r.closeOnce.Do(func() { close(r.done) })
+	if r.batcher != nil {
+		r.batcher.stop()
+	}
 	r.dispatchWG.Wait()
 	r.handlerWG.Wait()
 }
@@ -256,57 +274,82 @@ func (r *Runtime) Close() {
 func (r *Runtime) dispatch() {
 	defer r.dispatchWG.Done()
 	for m := range r.ep.Recv() {
-		r.dispatched.Add(1)
-		if m.Kind.IsReply() {
-			r.pendMu.Lock()
-			pc, ok := r.pending[m.Req]
-			if ok {
-				delete(r.pending, m.Req)
+		if m.Kind == wire.KBatch {
+			members, err := wire.UnpackBatch(m.Data)
+			if err != nil {
+				// A malformed batch can only come from a broken or
+				// hostile peer on a real transport; drop the frame
+				// rather than take the node down.
+				continue
 			}
-			r.pendMu.Unlock()
-			if ok {
-				// Record completion here, on the dispatch goroutine,
-				// so a duplicate of this reply arriving next is
-				// already classifiable as a late duplicate.
-				r.completed.add(m.Req)
-				pc.ch <- m // buffered, never blocks
-			} else if r.completed.has(m.Req) {
-				r.st.LateReplies.Add(1)
-			} else {
-				r.st.StrayReplies.Add(1)
+			for _, mm := range members {
+				r.deliver(mm)
 			}
 			continue
 		}
-		if r.reliable && m.Req != 0 {
-			if dup, state, fwd, cached := r.dedup.admit(m.From, m.Req); dup {
-				r.st.DupRequests.Add(1)
-				switch state {
-				case dedupDone:
-					// Transaction finished; re-serve the cached reply
-					// (the original may have been lost).
-					r.st.CachedReplies.Add(1)
-					cp := *cached
-					_ = r.Send(&cp)
-				case dedupForwarded:
-					// We relayed this request; re-send the recorded
-					// relay copy and let its table take over.
-					cp := *fwd
-					_ = r.ep.Send(&cp)
-				}
-				// Inflight: the first copy's handler will reply.
-				continue
-			}
-		}
-		h := r.handlers[m.Kind]
-		if h == nil {
-			panic(fmt.Sprintf("nodecore: node %d: no handler for %v (engine %s)", r.id, m.Kind, r.engine.Name()))
-		}
-		r.handlerWG.Add(1)
-		go func(m *wire.Msg) {
-			defer r.handlerWG.Done()
-			h(m)
-		}(m)
+		r.deliver(m)
 	}
+}
+
+// deliver routes one message: replies to their waiting caller,
+// requests (after duplicate suppression) to their handler. Batch
+// members pass through here individually, so every reliability
+// mechanism sees them exactly as it would lone messages.
+func (r *Runtime) deliver(m *wire.Msg) {
+	r.dispatched.Add(1)
+	if m.Kind.IsReply() {
+		r.pendMu.Lock()
+		pc, ok := r.pending[m.Req]
+		if ok {
+			delete(r.pending, m.Req)
+		}
+		r.pendMu.Unlock()
+		if ok {
+			// Record completion here, on the dispatch goroutine,
+			// so a duplicate of this reply arriving next is
+			// already classifiable as a late duplicate.
+			r.completed.add(m.Req)
+			pc.ch <- m // buffered, never blocks
+		} else if r.completed.has(m.Req) {
+			r.st.LateReplies.Add(1)
+		} else {
+			r.st.StrayReplies.Add(1)
+		}
+		return
+	}
+	if r.reliable && m.Req != 0 {
+		if dup, state, fwd, cached := r.dedup.admit(m.From, m.Req); dup {
+			r.st.DupRequests.Add(1)
+			switch state {
+			case dedupDone:
+				// Transaction finished; re-serve the cached reply
+				// (the original may have been lost).
+				r.st.CachedReplies.Add(1)
+				cp := *cached
+				_ = r.Send(&cp)
+			case dedupForwarded:
+				// We relayed this request; re-send the recorded
+				// relay copy and let its table take over.
+				cp := *fwd
+				_ = r.ep.Send(&cp)
+			}
+			// Inflight: the first copy's handler will reply.
+			return
+		}
+	}
+	h := r.handlers[m.Kind]
+	if h == nil {
+		panic(fmt.Sprintf("nodecore: node %d: no handler for %v (engine %s)", r.id, m.Kind, r.engine.Name()))
+	}
+	if r.inline[m.Kind] {
+		h(m)
+		return
+	}
+	r.handlerWG.Add(1)
+	go func(m *wire.Msg) {
+		defer r.handlerWG.Done()
+		h(m)
+	}(m)
 }
 
 // StrayReplies reports replies that matched no call this node ever
@@ -393,14 +436,60 @@ func (r *Runtime) unregister(req uint64) {
 
 // Send stamps the message with this node as origin and transmits it.
 // Under reliability, outgoing replies are recorded in the dedup
-// table so a retransmitted request can be answered from cache.
+// table so a retransmitted request can be answered from cache. With
+// batching enabled, any messages queued for the same destination
+// piggyback on this send's frame.
 func (r *Runtime) Send(m *wire.Msg) error {
 	m.From = r.id
 	if r.reliable && m.Req != 0 && m.Kind.IsReply() {
+		// Deep-copy the payloads: the cached reply may be re-served
+		// long after the caller has reused or pooled these buffers.
 		cp := *m
+		cp.Data = append([]byte(nil), m.Data...)
+		cp.Aux = append([]byte(nil), m.Aux...)
 		r.dedup.completed(m.To, m.Req, &cp)
 	}
+	if r.batcher != nil && m.To != r.id {
+		return r.batcher.sendWithPending(m)
+	}
 	return r.ep.Send(m)
+}
+
+// EnableBatching installs the message-batching layer (see batch.go):
+// SendBatched queues one-way messages per destination, CallBatched
+// groups same-destination requests into one frame, and FlushBatches
+// drains the queues at release/barrier boundaries. Must be called
+// before Start.
+func (r *Runtime) EnableBatching(p BatchPolicy) {
+	if r.batcher != nil {
+		return
+	}
+	r.batcher = newBatcher(r, p.withDefaults())
+}
+
+// BatchingEnabled reports whether the batching layer is active.
+func (r *Runtime) BatchingEnabled() bool { return r.batcher != nil }
+
+// SendBatched transmits a one-way message, allowing the runtime to
+// delay it briefly (the policy's MaxDelay) so that it can share a
+// frame with other traffic to the same destination. Without batching
+// — or for self-sends — it degenerates to Send.
+func (r *Runtime) SendBatched(m *wire.Msg) error {
+	m.From = r.id
+	if r.batcher == nil || m.To == r.id {
+		return r.Send(m)
+	}
+	return r.batcher.enqueue(m)
+}
+
+// FlushBatches synchronously drains every pending batch queue.
+// Engines call it at release and barrier boundaries so queued write
+// notices and diff pushes are on the wire before the peers they are
+// addressed to can observe the release.
+func (r *Runtime) FlushBatches() {
+	if r.batcher != nil {
+		r.batcher.flushAll()
+	}
 }
 
 // Forward retransmits m to a new destination, preserving the
@@ -438,6 +527,11 @@ func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 		r.unregister(m.Req)
 		return nil, err
 	}
+	return r.awaitReply(m, ch, timeout)
+}
+
+// awaitReply waits out a single-transmission call.
+func (r *Runtime) awaitReply(m *wire.Msg, ch chan *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
@@ -453,6 +547,88 @@ func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 	}
 }
 
+// CallBatched issues several requests concurrently and waits for all
+// replies, returned in input order. With batching enabled, requests
+// that share a destination travel in one KBatch frame — their first
+// transmission only; under reliability each member retransmits on its
+// own, since loss and duplication are per member once the frame is
+// unpacked. The first error wins and the rest are abandoned exactly
+// as a timed-out Call would be.
+func (r *Runtime) CallBatched(msgs []*wire.Msg) ([]*wire.Msg, error) {
+	switch len(msgs) {
+	case 0:
+		return nil, nil
+	case 1:
+		reply, err := r.Call(msgs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*wire.Msg{reply}, nil
+	}
+	chs := make([]chan *wire.Msg, len(msgs))
+	for i, m := range msgs {
+		m.From = r.id
+		m.Attempt = 0
+		m.Req = r.NewReq()
+		chs[i] = r.register(m.Req, m.Kind, m.To)
+	}
+	// First transmission: group remote same-destination requests into
+	// one frame each. Reply slots are already registered, so a reply
+	// can never race its own registration.
+	preSent := make([]bool, len(msgs))
+	if b := r.batcher; b != nil {
+		byDest := make(map[transport.NodeID][]int)
+		for i, m := range msgs {
+			if m.To != r.id {
+				byDest[m.To] = append(byDest[m.To], i)
+			}
+		}
+		for to, idxs := range byDest {
+			if len(idxs) < 2 {
+				continue
+			}
+			members := make([]*wire.Msg, len(idxs))
+			for j, i := range idxs {
+				members[j] = msgs[i]
+			}
+			if err := b.sendBatchFrame(to, members); err == nil {
+				for _, i := range idxs {
+					preSent[i] = true
+				}
+			}
+			// On error the members go out individually below.
+		}
+	}
+	replies := make([]*wire.Msg, len(msgs))
+	errs := make([]error, len(msgs))
+	var wg sync.WaitGroup
+	for i, m := range msgs {
+		wg.Add(1)
+		go func(i int, m *wire.Msg) {
+			defer wg.Done()
+			if r.reliable {
+				replies[i], errs[i] = r.retryLoop(m, chs[i], r.callTimeout, preSent[i])
+				return
+			}
+			if !preSent[i] {
+				if err := r.Send(m); err != nil {
+					r.unregister(m.Req)
+					errs[i] = err
+					return
+				}
+			}
+			replies[i], errs[i] = r.awaitReply(m, chs[i], r.callTimeout)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return replies, nil
+}
+
 // callRetry is the reliable Call path: send, wait one backoff
 // window, retransmit, until a reply arrives or the overall deadline
 // runs out. The reply slot is registered once — every transmission
@@ -465,10 +641,34 @@ func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 func (r *Runtime) callRetry(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 	m.Req = r.NewReq()
 	ch := r.register(m.Req, m.Kind, m.To)
+	return r.retryLoop(m, ch, timeout, false)
+}
+
+// retryLoop runs the transmit/wait/retransmit cycle for an
+// already-registered reliable call. With preSent, the first
+// transmission already happened (as a member of a batch frame) and
+// the loop starts by waiting. One timer is reused across attempts; it
+// needs no draining because the loop only comes around after the
+// timer has fired.
+func (r *Runtime) retryLoop(m *wire.Msg, ch chan *wire.Msg, timeout time.Duration, preSent bool) (*wire.Msg, error) {
 	deadline := time.Now().Add(timeout)
 	wait := r.retry.AttemptTimeout
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
+			// The deadline may have expired while the previous
+			// attempt's timer ran; give up here rather than pay for
+			// one more pointless retransmission and timer cycle.
+			if !time.Now().Before(deadline) {
+				r.unregister(m.Req)
+				return nil, fmt.Errorf("nodecore: node %d: %v to %d (page %d, lock %d) timed out after %v and %d attempts",
+					r.id, m.Kind, m.To, m.Page, m.Lock, timeout, attempt)
+			}
 			r.st.Retries.Add(1)
 		}
 		a := attempt
@@ -476,9 +676,11 @@ func (r *Runtime) callRetry(m *wire.Msg, timeout time.Duration) (*wire.Msg, erro
 			a = 255
 		}
 		m.Attempt = uint8(a)
-		if err := r.Send(m); err != nil {
-			r.unregister(m.Req)
-			return nil, err
+		if attempt > 0 || !preSent {
+			if err := r.Send(m); err != nil {
+				r.unregister(m.Req)
+				return nil, err
+			}
 		}
 		var w time.Duration
 		if attempt+1 >= r.retry.MaxAttempts {
@@ -497,18 +699,20 @@ func (r *Runtime) callRetry(m *wire.Msg, timeout time.Duration) (*wire.Msg, erro
 		if w < time.Millisecond {
 			w = time.Millisecond
 		}
-		timer := time.NewTimer(w)
+		if timer == nil {
+			timer = time.NewTimer(w)
+		} else {
+			timer.Reset(w)
+		}
 		select {
 		case reply := <-ch:
-			timer.Stop()
 			return reply, nil
 		case <-r.done:
-			timer.Stop()
 			r.unregister(m.Req)
 			return nil, fmt.Errorf("nodecore: node %d: shutdown while waiting for %v reply", r.id, m.Kind)
 		case <-timer.C:
 		}
-		if attempt+1 >= r.retry.MaxAttempts || !time.Now().Before(deadline) {
+		if attempt+1 >= r.retry.MaxAttempts {
 			r.unregister(m.Req)
 			return nil, fmt.Errorf("nodecore: node %d: %v to %d (page %d, lock %d) timed out after %v and %d attempts",
 				r.id, m.Kind, m.To, m.Page, m.Lock, timeout, attempt+1)

@@ -186,32 +186,27 @@ func (e *Engine) flushAll() {
 		p.Unlock()
 	}
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(flushes))
+	var msgs []*wire.Msg
 	for _, f := range flushes {
-		wg.Add(1)
-		go func(f flush) {
-			defer wg.Done()
-			if e.homeOf(f.pg) == e.rt.ID() {
-				// Our copy is the authoritative one; just propagate.
+		if e.homeOf(f.pg) == e.rt.ID() {
+			// Our copy is the authoritative one; just propagate.
+			wg.Add(1)
+			go func(f flush) {
+				defer wg.Done()
 				e.tx.Lock(f.pg)
 				e.propagate(f.pg, f.diff, e.rt.ID())
 				e.tx.Unlock(f.pg)
-				return
-			}
-			_, err := e.rt.Call(&wire.Msg{Kind: wire.KErcFlush, To: e.homeOf(f.pg), Page: f.pg, Data: f.diff})
-			if err != nil {
-				errCh <- err
-			}
-		}(f)
+			}(f)
+			continue
+		}
+		msgs = append(msgs, &wire.Msg{Kind: wire.KErcFlush, To: e.homeOf(f.pg), Page: f.pg, Data: f.diff})
 	}
+	// Remote flushes to the same home share a frame under batching
+	// (CallBatched degenerates to the old parallel calls without it).
+	// A flush can only fail at shutdown; surfacing it as a panic
+	// inside an app run would mask the real (application) error.
+	_, _ = e.rt.CallBatched(msgs)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		// A flush can only fail at shutdown; surfacing it as a panic
-		// inside an app run would mask the real (application) error.
-		_ = err
-	default:
-	}
 }
 
 // handleFetch runs at the home: serialize against flushes on the

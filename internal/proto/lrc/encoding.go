@@ -96,6 +96,138 @@ func encodeDiffList(ds []seqDiff) []byte {
 	return buf
 }
 
+// pageDiff pairs a page with its diff, for push bundles.
+type pageDiff struct {
+	pg   mem.PageID
+	diff []byte
+}
+
+// Push list encoding: uvarint count, count × { uvarint page,
+// uvarint len, len bytes }.
+func encodePushList(ds []pageDiff) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ds)))
+	for _, d := range ds {
+		buf = binary.AppendUvarint(buf, uint64(d.pg))
+		buf = binary.AppendUvarint(buf, uint64(len(d.diff)))
+		buf = append(buf, d.diff...)
+	}
+	return buf
+}
+
+// pushEntry is one diff addressed to one reader, piggybacked on
+// barrier traffic: writer's interval (writer, seq) touched page pg,
+// and reader has previously fetched that page's diffs from us.
+type pushEntry struct {
+	reader int32
+	writer int32
+	seq    uint32
+	pg     mem.PageID
+	diff   []byte
+}
+
+// Barrier payload envelope:
+//
+//	uvarint len(interval section) || interval section ||
+//	uvarint count || count × { uvarint reader, uvarint writer,
+//	                           uvarint seq, uvarint page,
+//	                           uvarint len, len bytes }
+//
+// The interval section is an encodeIntervals blob; length-prefixing it
+// lets the push section follow without decodeIntervals seeing trailing
+// bytes.
+func encodeBarrierPayload(ivsRaw []byte, pushes []pushEntry) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(ivsRaw)))
+	buf = append(buf, ivsRaw...)
+	buf = binary.AppendUvarint(buf, uint64(len(pushes)))
+	for _, pe := range pushes {
+		buf = binary.AppendUvarint(buf, uint64(pe.reader))
+		buf = binary.AppendUvarint(buf, uint64(pe.writer))
+		buf = binary.AppendUvarint(buf, uint64(pe.seq))
+		buf = binary.AppendUvarint(buf, uint64(pe.pg))
+		buf = binary.AppendUvarint(buf, uint64(len(pe.diff)))
+		buf = append(buf, pe.diff...)
+	}
+	return buf
+}
+
+func decodeBarrierPayload(buf []byte) (ivsRaw []byte, pushes []pushEntry, err error) {
+	if len(buf) == 0 {
+		return nil, nil, nil
+	}
+	il, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < il {
+		return nil, nil, fmt.Errorf("bad interval section length")
+	}
+	buf = buf[n:]
+	ivsRaw = buf[:il]
+	buf = buf[il:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("bad barrier push count")
+	}
+	buf = buf[n:]
+	for i := uint64(0); i < count; i++ {
+		var vals [5]uint64
+		for f := range vals {
+			v, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("bad barrier push entry")
+			}
+			vals[f] = v
+			buf = buf[n:]
+		}
+		l := vals[4]
+		if uint64(len(buf)) < l {
+			return nil, nil, fmt.Errorf("truncated barrier push diff: want %d, have %d", l, len(buf))
+		}
+		pushes = append(pushes, pushEntry{
+			reader: int32(vals[0]),
+			writer: int32(vals[1]),
+			seq:    uint32(vals[2]),
+			pg:     mem.PageID(vals[3]),
+			diff:   buf[:l],
+		})
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, nil, fmt.Errorf("%d trailing bytes after barrier pushes", len(buf))
+	}
+	return ivsRaw, pushes, nil
+}
+
+func decodePushList(buf []byte) ([]pageDiff, error) {
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, fmt.Errorf("bad push count")
+	}
+	buf = buf[n:]
+	out := make([]pageDiff, 0, count)
+	for i := uint64(0); i < count; i++ {
+		pg, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad push page")
+		}
+		buf = buf[n:]
+		l, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, fmt.Errorf("bad push len")
+		}
+		buf = buf[n:]
+		if uint64(len(buf)) < l {
+			return nil, fmt.Errorf("truncated push diff: want %d, have %d", l, len(buf))
+		}
+		out = append(out, pageDiff{pg: mem.PageID(pg), diff: buf[:l]})
+		buf = buf[l:]
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes", len(buf))
+	}
+	return out, nil
+}
+
 func decodeDiffList(buf []byte) (map[uint32][]byte, error) {
 	out := make(map[uint32][]byte)
 	if len(buf) == 0 {

@@ -1,0 +1,78 @@
+package lrc
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/vclock"
+)
+
+// TestBarrierPayloadRoundTrip: the envelope carries an interval
+// section and push entries through encode/merge-style decode intact.
+func TestBarrierPayloadRoundTrip(t *testing.T) {
+	ivs := []*interval{
+		{node: 1, seq: 3, vc: vclock.VC{0, 3, 1}, pages: []mem.PageID{2, 7}},
+		{node: 2, seq: 1, vc: vclock.VC{0, 0, 1}, pages: []mem.PageID{4}},
+	}
+	pushes := []pushEntry{
+		{reader: 0, writer: 1, seq: 3, pg: 2, diff: []byte{9, 9, 9}},
+		{reader: 2, writer: 1, seq: 3, pg: 7, diff: nil},
+	}
+	buf := encodeBarrierPayload(encodeIntervals(ivs), pushes)
+	ivsRaw, gotPushes, err := decodeBarrierPayload(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIvs, err := decodeIntervals(ivsRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIvs) != 2 || gotIvs[0].node != 1 || gotIvs[0].seq != 3 || len(gotIvs[0].pages) != 2 {
+		t.Fatalf("intervals = %+v", gotIvs)
+	}
+	if len(gotPushes) != 2 {
+		t.Fatalf("pushes = %+v", gotPushes)
+	}
+	for i, want := range pushes {
+		got := gotPushes[i]
+		if got.reader != want.reader || got.writer != want.writer || got.seq != want.seq ||
+			got.pg != want.pg || !bytes.Equal(got.diff, want.diff) {
+			t.Fatalf("push %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestBarrierPayloadEmpty: a nil payload decodes to nothing — barrier
+// arrivals with no new intervals and no pushes stay cheap.
+func TestBarrierPayloadEmpty(t *testing.T) {
+	ivsRaw, pushes, err := decodeBarrierPayload(nil)
+	if err != nil || ivsRaw != nil || pushes != nil {
+		t.Fatalf("decode(nil) = %v %v %v", ivsRaw, pushes, err)
+	}
+	buf := encodeBarrierPayload(nil, nil)
+	ivsRaw, pushes, err = decodeBarrierPayload(buf)
+	if err != nil || len(ivsRaw) != 0 || len(pushes) != 0 {
+		t.Fatalf("round trip of empty payload: %v %v %v", ivsRaw, pushes, err)
+	}
+}
+
+// TestBarrierPayloadRejectsCorruption: truncated or trailing bytes
+// must error, not panic or mis-parse.
+func TestBarrierPayloadRejectsCorruption(t *testing.T) {
+	buf := encodeBarrierPayload(encodeIntervals(nil), []pushEntry{
+		{reader: 1, writer: 0, seq: 2, pg: 3, diff: []byte{1, 2, 3, 4}},
+	})
+	for _, tc := range []struct {
+		name string
+		b    []byte
+	}{
+		{"truncated diff", buf[:len(buf)-2]},
+		{"trailing bytes", append(append([]byte(nil), buf...), 0)},
+		{"bad section length", []byte{0xff}},
+	} {
+		if _, _, err := decodeBarrierPayload(tc.b); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}

@@ -80,7 +80,27 @@ type Engine struct {
 	missing     map[mem.PageID][]noticeRef
 	lastBarSent uint32 // own-interval seq already distributed via a barrier
 	lastBarPrev uint32 // own-interval seq distributed at the barrier before that
+
+	// Interest-based diff push (active only with batching enabled).
+	// Serving a diff request records the requester's interest in the
+	// page; each subsequent interval close pushes the page's new diff
+	// to interested readers, saving them the fetch round trip. Pushes
+	// are purely advisory: receivers cache them keyed by (writer, seq,
+	// page) and the fetch path covers anything lost or evicted.
+	interest  map[mem.PageID]map[int32]struct{}
+	pushCache map[pushKey][]byte
+	pushOrder []pushKey // FIFO eviction order
 }
+
+// pushKey identifies one pushed diff: interval (node, seq) and page.
+type pushKey struct {
+	node int32
+	seq  uint32
+	pg   mem.PageID
+}
+
+// pushCacheCap bounds the push cache; overflow evicts oldest-first.
+const pushCacheCap = 1024
 
 // New creates the engine for one node.
 //
@@ -94,12 +114,14 @@ type Engine struct {
 // ablation.
 func New(rt *nodecore.Runtime, barrierGC bool) *Engine {
 	return &Engine{
-		rt:      rt,
-		gc:      barrierGC,
-		vc:      vclock.New(rt.N()),
-		log:     make([][]*interval, rt.N()),
-		myDiffs: make(map[uint64][]byte),
-		missing: make(map[mem.PageID][]noticeRef),
+		rt:        rt,
+		gc:        barrierGC,
+		vc:        vclock.New(rt.N()),
+		log:       make([][]*interval, rt.N()),
+		myDiffs:   make(map[uint64][]byte),
+		missing:   make(map[mem.PageID][]noticeRef),
+		interest:  make(map[mem.PageID]map[int32]struct{}),
+		pushCache: make(map[pushKey][]byte),
 	}
 }
 
@@ -136,6 +158,11 @@ func (e *Engine) Register(rt *nodecore.Runtime) {
 	if e.homeBased {
 		rt.Handle(wire.KErcFlush, e.handleHomeFlush)
 		rt.Handle(wire.KPageReq, e.handleHomePageReq)
+	} else {
+		// Inline: caching a push must be ordered before the barrier
+		// release or lock grant that makes its reader fault, or the
+		// reader races the handler goroutine and fetches anyway.
+		rt.HandleInline(wire.KDiffPush, e.handleDiffPush)
 	}
 }
 
@@ -198,10 +225,25 @@ func (e *Engine) validate(pg mem.PageID) error {
 		seq  uint32
 		vc   vclock.VC
 	}
+	type fetched struct {
+		job  job
+		diff []byte
+	}
+	// Diffs the writer pushed ahead of time need no round trip. Used
+	// entries are removed only after the whole validation succeeds, so
+	// the error path can retry against an intact cache.
+	var got []fetched
+	var usedKeys []pushKey
 	jobs := make([]job, 0, len(refs))
 	for _, r := range refs {
 		iv := e.log[r.node][r.seq-1]
-		jobs = append(jobs, job{r.node, r.seq, iv.vc})
+		j := job{r.node, r.seq, iv.vc}
+		if d, ok := e.pushCache[pushKey{r.node, r.seq, pg}]; ok {
+			got = append(got, fetched{j, d})
+			usedKeys = append(usedKeys, pushKey{r.node, r.seq, pg})
+			continue
+		}
+		jobs = append(jobs, j)
 	}
 	e.mu.Unlock()
 
@@ -211,11 +253,6 @@ func (e *Engine) validate(pg mem.PageID) error {
 	for _, j := range jobs {
 		byNode[j.node] = append(byNode[j.node], j)
 	}
-	type fetched struct {
-		job  job
-		diff []byte
-	}
-	var got []fetched
 	var gotMu sync.Mutex
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(byNode))
@@ -299,6 +336,13 @@ func (e *Engine) validate(pg mem.PageID) error {
 		p.SetProt(mem.ReadOnly)
 	}
 	p.Unlock()
+	if len(usedKeys) > 0 {
+		e.mu.Lock()
+		for _, k := range usedKeys {
+			delete(e.pushCache, k)
+		}
+		e.mu.Unlock()
+	}
 	return nil
 }
 
@@ -317,7 +361,14 @@ func vcSum(v vclock.VC) uint64 {
 // closeInterval ends the current write interval if any page was
 // written: it ticks the vector clock, records per-page diffs, and
 // appends the interval (with its write notices) to the local log.
-func (e *Engine) closeInterval() {
+//
+// With batching enabled it also builds one pushEntry per (interested
+// reader, dirty page). collect=true returns them to the caller
+// (BarrierArrive piggybacks them on the arrive payload, costing zero
+// messages); collect=false sends them as direct KDiffPush messages,
+// the only option at lock releases and event sets, which have no
+// all-to-all payload to ride.
+func (e *Engine) closeInterval(collect bool) []pushEntry {
 	tbl := e.rt.Table()
 	type dirtyPage struct {
 		pg   mem.PageID
@@ -340,27 +391,24 @@ func (e *Engine) closeInterval() {
 		p.Unlock()
 	}
 	if len(dirty) == 0 {
-		return
+		return nil
 	}
 	if e.homeBased {
 		// HLRC: push every diff to its page's home before the release
-		// or barrier proceeds; no diffs are retained locally.
-		var wg sync.WaitGroup
+		// or barrier proceeds; no diffs are retained locally. The
+		// flushes share frames per home under batching (CallBatched
+		// degenerates to the old parallel calls without it).
+		var msgs []*wire.Msg
 		for _, d := range dirty {
 			home := e.homeOf(d.pg)
 			if home == e.rt.ID() {
 				continue // our copy is the home copy; already applied
 			}
-			wg.Add(1)
-			go func(pg mem.PageID, diff []byte) {
-				defer wg.Done()
-				_, _ = e.rt.Call(&wire.Msg{Kind: wire.KErcFlush, To: e.homeOf(pg), Page: pg, Data: diff})
-			}(d.pg, d.diff)
+			msgs = append(msgs, &wire.Msg{Kind: wire.KErcFlush, To: home, Page: d.pg, Data: d.diff})
 		}
-		wg.Wait()
+		_, _ = e.rt.CallBatched(msgs)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	me := int(e.rt.ID())
 	seq := e.vc.Tick(me)
 	iv := &interval{node: e.rt.ID(), seq: seq, vc: e.vc.Copy()}
@@ -374,6 +422,40 @@ func (e *Engine) closeInterval() {
 	if uint32(len(e.log[me])) != seq {
 		panic(fmt.Sprintf("lrc: node %d: interval log out of sync: len %d, seq %d", me, len(e.log[me]), seq))
 	}
+	// Interest-based push: give every reader who has fetched a dirty
+	// page's diffs before this interval's diff for it.
+	var entries []pushEntry
+	if !e.homeBased && e.rt.BatchingEnabled() {
+		for _, d := range dirty {
+			for node := range e.interest[d.pg] {
+				entries = append(entries, pushEntry{
+					reader: node, writer: iv.node, seq: seq, pg: d.pg, diff: d.diff,
+				})
+			}
+		}
+	}
+	e.mu.Unlock()
+	if len(entries) == 0 {
+		return nil
+	}
+	e.rt.Stats().DiffPushes.Add(int64(len(entries)))
+	if collect {
+		return entries
+	}
+	byReader := make(map[transport.NodeID][]pageDiff)
+	for _, pe := range entries {
+		to := transport.NodeID(pe.reader)
+		byReader[to] = append(byReader[to], pageDiff{pg: pe.pg, diff: pe.diff})
+	}
+	for to, list := range byReader {
+		_ = e.rt.SendBatched(&wire.Msg{Kind: wire.KDiffPush, To: to, Arg: uint64(seq), Data: encodePushList(list)})
+	}
+	// Flush now rather than ride the latency cap: the peers these
+	// diffs are for may fault the instant the coming release
+	// completes, and a push that loses that race is pure overhead
+	// (the fault falls back to fetching).
+	e.rt.FlushBatches()
+	return nil
 }
 
 // insert adds a remote interval to the log if unknown, invalidating
@@ -462,17 +544,22 @@ func (e *Engine) OnGranted(_ int32, _ dsync.Mode, payload []byte) {
 }
 
 // OnRelease implements dsync.Hooks: close the current interval. No
-// data or notices move — that is the laziness.
-func (e *Engine) OnRelease(int32) { e.closeInterval() }
+// data or notices move — that is the laziness. (With batching on,
+// interest-targeted diffs are pushed directly; a lock release has no
+// barrier payload to piggyback them on.)
+func (e *Engine) OnRelease(int32) { e.closeInterval(false) }
 
 // OnEventSet implements dsync.Hooks: firing an event is a release —
 // the waiters' grants will carry the closed interval's notices.
-func (e *Engine) OnEventSet(int32) { e.closeInterval() }
+func (e *Engine) OnEventSet(int32) { e.closeInterval(false) }
 
 // BarrierArrive implements dsync.Hooks: close the interval and send
-// our own not-yet-broadcast intervals to the barrier manager.
+// our own not-yet-broadcast intervals to the barrier manager. With
+// batching on, the closing interval's interest-targeted diffs ride
+// the same arrive payload; the release fans them out to their readers
+// (see BarrierReleaseFor), so the whole push costs zero messages.
 func (e *Engine) BarrierArrive(int32) []byte {
-	e.closeInterval()
+	entries := e.closeInterval(true)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	me := int(e.rt.ID())
@@ -481,19 +568,26 @@ func (e *Engine) BarrierArrive(int32) []byte {
 		own = append(own, e.log[me][s])
 	}
 	e.lastBarSent = uint32(len(e.log[me]))
-	return encodeIntervals(own)
+	return encodeBarrierPayload(encodeIntervals(own), entries)
 }
 
 // BarrierMerge implements dsync.Hooks: concatenate interval sets
-// (associative; duplicates are dropped at insert time).
+// (associative; duplicates are dropped at insert time) and the
+// piggybacked push entries.
 func (e *Engine) BarrierMerge(_ int32, payloads [][]byte) []byte {
 	var all []*interval
+	var pushes []pushEntry
 	for _, p := range payloads {
-		ivs, err := decodeIntervals(p)
+		ivsRaw, pes, err := decodeBarrierPayload(p)
+		if err != nil {
+			panic(fmt.Sprintf("lrc: node %d: bad barrier payload: %v", e.rt.ID(), err))
+		}
+		ivs, err := decodeIntervals(ivsRaw)
 		if err != nil {
 			panic(fmt.Sprintf("lrc: node %d: bad barrier payload: %v", e.rt.ID(), err))
 		}
 		all = append(all, ivs...)
+		pushes = append(pushes, pes...)
 	}
 	// Keep per-node seq order so receivers can insert contiguously.
 	sort.Slice(all, func(a, b int) bool {
@@ -502,7 +596,28 @@ func (e *Engine) BarrierMerge(_ int32, payloads [][]byte) []byte {
 		}
 		return all[a].seq < all[b].seq
 	})
-	return encodeIntervals(all)
+	return encodeBarrierPayload(encodeIntervals(all), pushes)
+}
+
+// BarrierReleaseFor implements dsync.ReleaseFilter: keep the interval
+// section for everyone but strip the push entries down to the ones
+// addressed to the receiving node, so release bytes do not scale with
+// other readers' diffs.
+func (e *Engine) BarrierReleaseFor(_ int32, to transport.NodeID, merged []byte) []byte {
+	ivsRaw, pushes, err := decodeBarrierPayload(merged)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: node %d: bad merged barrier payload: %v", e.rt.ID(), err))
+	}
+	if len(pushes) == 0 {
+		return merged
+	}
+	var mine []pushEntry
+	for _, pe := range pushes {
+		if pe.reader == int32(to) {
+			mine = append(mine, pe)
+		}
+	}
+	return encodeBarrierPayload(ivsRaw, mine)
 }
 
 // OnBarrierRelease implements dsync.Hooks: everyone learns
@@ -510,13 +625,27 @@ func (e *Engine) BarrierMerge(_ int32, payloads [][]byte) []byte {
 // pending notices are validated eagerly and diffs that every node
 // validated by the previous barrier are discarded.
 func (e *Engine) OnBarrierRelease(_ int32, payload []byte) {
-	ivs, err := decodeIntervals(payload)
+	ivsRaw, pushes, err := decodeBarrierPayload(payload)
 	if err != nil {
 		panic(fmt.Sprintf("lrc: node %d: bad barrier release payload: %v", e.rt.ID(), err))
 	}
+	ivs, err := decodeIntervals(ivsRaw)
+	if err != nil {
+		panic(fmt.Sprintf("lrc: node %d: bad barrier release payload: %v", e.rt.ID(), err))
+	}
+	me := int32(e.rt.ID())
 	e.mu.Lock()
 	for _, iv := range ivs {
 		e.insert(iv)
+	}
+	// Piggybacked diffs land in the push cache under the same lock
+	// that queued their write notices, so the first post-barrier fault
+	// is guaranteed to find them — no fetch, no handler race.
+	for _, pe := range pushes {
+		if pe.reader != me || pe.writer == me {
+			continue
+		}
+		e.cachePushLocked(pushKey{node: pe.writer, seq: pe.seq, pg: pe.pg}, pe.diff)
 	}
 	if !e.gc {
 		e.mu.Unlock()
@@ -554,7 +683,8 @@ func (e *Engine) OnBarrierRelease(_ int32, payload []byte) {
 // ---------------------------------------------------------------
 
 // handleDiffReq serves our own interval diffs for one page across a
-// seq range.
+// seq range, and records the requester's interest in the page so
+// future diffs for it can be pushed instead of fetched.
 func (e *Engine) handleDiffReq(m *wire.Msg) {
 	e.mu.Lock()
 	me := int(e.rt.ID())
@@ -564,6 +694,45 @@ func (e *Engine) handleDiffReq(m *wire.Msg) {
 			out = append(out, seqDiff{seq: s, diff: d})
 		}
 	}
+	if !e.homeBased && m.From != e.rt.ID() {
+		set := e.interest[m.Page]
+		if set == nil {
+			set = make(map[int32]struct{})
+			e.interest[m.Page] = set
+		}
+		set[int32(m.From)] = struct{}{}
+	}
 	e.mu.Unlock()
 	_ = e.rt.Reply(m, &wire.Msg{Kind: wire.KDiffReply, Page: m.Page, Data: encodeDiffList(out)})
+}
+
+// handleDiffPush caches a writer's pushed diffs. Pushes are advisory,
+// so a malformed or duplicate push is simply ignored; overflow evicts
+// the oldest entries (their readers fall back to fetching).
+func (e *Engine) handleDiffPush(m *wire.Msg) {
+	list, err := decodePushList(m.Data)
+	if err != nil {
+		return
+	}
+	seq := uint32(m.Arg)
+	e.mu.Lock()
+	for _, d := range list {
+		e.cachePushLocked(pushKey{node: int32(m.From), seq: seq, pg: d.pg}, d.diff)
+	}
+	e.mu.Unlock()
+}
+
+// cachePushLocked inserts one pushed diff, dropping duplicates and
+// evicting oldest-first past the cap. Caller holds e.mu.
+func (e *Engine) cachePushLocked(k pushKey, diff []byte) {
+	if _, ok := e.pushCache[k]; ok {
+		return
+	}
+	e.pushCache[k] = diff
+	e.pushOrder = append(e.pushOrder, k)
+	for len(e.pushCache) > pushCacheCap && len(e.pushOrder) > 0 {
+		old := e.pushOrder[0]
+		e.pushOrder = e.pushOrder[1:]
+		delete(e.pushCache, old)
+	}
 }

@@ -466,3 +466,58 @@ func TestHLRCLocalWritesSurviveRevalidation(t *testing.T) {
 		t.Fatalf("got (%d,%d), want (11,22)", v0, v1)
 	}
 }
+
+// TestBarrierPushReplacesFetch: once the writer has learned a
+// reader's interest (from its first fetch), subsequent barrier rounds
+// deliver the diff piggybacked on the barrier itself — the reader
+// revalidates from the push cache with no further fetch round trips.
+func TestBarrierPushReplacesFetch(t *testing.T) {
+	c, err := core.NewCluster(core.Config{
+		Nodes:     2,
+		Protocol:  core.LRC,
+		PageSize:  256,
+		HeapBytes: 1 << 16,
+		Batch:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	addr := c.MustAlloc(8)
+	const rounds = 5
+	err = c.Run(func(nd *core.Node) error {
+		for r := 0; r < rounds; r++ {
+			if nd.ID() == 0 {
+				if err := nd.WriteUint64(addr, uint64(r+1)); err != nil {
+					return err
+				}
+			}
+			if err := nd.Barrier(0); err != nil {
+				return err
+			}
+			if nd.ID() == 1 {
+				v, err := nd.ReadUint64(addr)
+				if err != nil {
+					return err
+				}
+				if v != uint64(r+1) {
+					t.Errorf("round %d: read %d", r, v)
+				}
+			}
+			if err := nd.Barrier(1); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.TotalStats()
+	if st.DiffPushes == 0 {
+		t.Fatal("no diffs pushed across barriers")
+	}
+	if st.DiffFetches != 1 {
+		t.Errorf("DiffFetches = %d, want 1 (only the warm-up read should fetch)", st.DiffFetches)
+	}
+}

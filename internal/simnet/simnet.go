@@ -320,7 +320,11 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 	if to < 0 || int(to) >= e.net.cfg.Nodes {
 		return fmt.Errorf("simnet: send to invalid node %d (cluster of %d)", to, e.net.cfg.Nodes)
 	}
-	raw := m.Encode(make([]byte, 0, m.EncodedSize()))
+	// Encode into a pooled buffer; ownership passes to the delivery
+	// queue, which returns it after decoding (Decode copies payloads).
+	bp := wire.GetBuf()
+	raw := m.Encode(*bp)
+	*bp = raw
 	if to != e.id {
 		e.net.ctr.MsgsSent.Add(1)
 		e.net.ctr.BytesSent.Add(int64(len(raw)))
@@ -343,6 +347,7 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 			if e.st != nil {
 				e.st.MsgsDropped.Add(1)
 			}
+			wire.PutBuf(bp)
 			return nil
 		}
 		if lat := e.net.cfg.Latency; lat != nil {
@@ -358,6 +363,7 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 				if e.st != nil {
 					e.st.MsgsDropped.Add(1)
 				}
+				wire.PutBuf(bp)
 				return nil
 			}
 			if fp.SpikeProb > 0 && probDraw(&pair.rng) < fp.SpikeProb {
@@ -376,7 +382,15 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 	pair.last = at
 	pair.mu.Unlock()
 
-	e.net.queues[to].push(at, raw, to == e.id)
+	// The duplicate must be copied before the original is pushed: once
+	// pushed, the delivery queue may decode and recycle the buffer at
+	// any moment.
+	var dupBp *[]byte
+	if duplicate {
+		dupBp = wire.GetBuf()
+		*dupBp = append(*dupBp, raw...)
+	}
+	e.net.queues[to].push(at, raw, bp, to == e.id)
 	if duplicate {
 		// The copy arrives immediately after the original (same due
 		// time, later heap sequence), preserving per-pair FIFO order.
@@ -384,7 +398,7 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 		if e.st != nil {
 			e.st.MsgsDuplicated.Add(1)
 		}
-		e.net.queues[to].push(at, raw, false)
+		e.net.queues[to].push(at, *dupBp, dupBp, false)
 	}
 	return nil
 }
@@ -423,6 +437,7 @@ type item struct {
 	at   time.Time
 	seq  uint64
 	raw  []byte
+	buf  *[]byte // pooled backing buffer, returned after decode
 	self bool
 }
 
@@ -432,14 +447,15 @@ func newDQueue(ep *Endpoint, trace func(*wire.Msg)) *dqueue {
 	return q
 }
 
-func (q *dqueue) push(at time.Time, raw []byte, self bool) {
+func (q *dqueue) push(at time.Time, raw []byte, buf *[]byte, self bool) {
 	q.mu.Lock()
 	if q.stopped {
 		q.mu.Unlock()
+		wire.PutBuf(buf)
 		return
 	}
 	q.seq++
-	heap.Push(&q.items, item{at: at, seq: q.seq, raw: raw, self: self})
+	heap.Push(&q.items, item{at: at, seq: q.seq, raw: raw, buf: buf, self: self})
 	q.cond.Signal()
 	q.mu.Unlock()
 }
@@ -515,6 +531,9 @@ func (q *dqueue) run() {
 				q.ep.st.BytesRecv.Add(int64(len(it.raw)))
 			}
 		}
+		// Decode copied the payloads, so the wire buffer can go back
+		// to the pool before the message is even delivered.
+		wire.PutBuf(it.buf)
 		if q.trace != nil {
 			q.trace(m)
 		}

@@ -39,6 +39,11 @@ type Node struct {
 	LateReplies    atomic.Int64 // duplicate/late replies discarded (expected under retry)
 	StrayReplies   atomic.Int64 // replies with no matching call ever made (protocol bug)
 
+	// Message batching (all zero unless batching is enabled).
+	BatchedMsgs    atomic.Int64 // messages that travelled as members of a batch frame
+	FlushedBatches atomic.Int64 // multi-message batch frames sent
+	DiffPushes     atomic.Int64 // interest-based diff push bundles sent (LRC)
+
 	// Coherence-protocol actions.
 	Invalidations     atomic.Int64 // invalidation requests served by this node
 	Forwards          atomic.Int64 // requests forwarded along owner chains
@@ -69,6 +74,7 @@ type Snapshot struct {
 	MsgsDropped, MsgsDuplicated              int64
 	Retries, DupRequests, CachedReplies      int64
 	LateReplies, StrayReplies                int64
+	BatchedMsgs, FlushedBatches, DiffPushes  int64
 	Invalidations, Forwards, PageTransfers   int64
 	UpdatesApplied, TwinCopies               int64
 	DiffsCreated, DiffBytes, DiffFetches     int64
@@ -98,6 +104,9 @@ func (n *Node) Snapshot() Snapshot {
 		CachedReplies:     n.CachedReplies.Load(),
 		LateReplies:       n.LateReplies.Load(),
 		StrayReplies:      n.StrayReplies.Load(),
+		BatchedMsgs:       n.BatchedMsgs.Load(),
+		FlushedBatches:    n.FlushedBatches.Load(),
+		DiffPushes:        n.DiffPushes.Load(),
 		Invalidations:     n.Invalidations.Load(),
 		Forwards:          n.Forwards.Load(),
 		PageTransfers:     n.PageTransfers.Load(),
@@ -135,6 +144,9 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 		CachedReplies:     s.CachedReplies + o.CachedReplies,
 		LateReplies:       s.LateReplies + o.LateReplies,
 		StrayReplies:      s.StrayReplies + o.StrayReplies,
+		BatchedMsgs:       s.BatchedMsgs + o.BatchedMsgs,
+		FlushedBatches:    s.FlushedBatches + o.FlushedBatches,
+		DiffPushes:        s.DiffPushes + o.DiffPushes,
 		Invalidations:     s.Invalidations + o.Invalidations,
 		Forwards:          s.Forwards + o.Forwards,
 		PageTransfers:     s.PageTransfers + o.PageTransfers,
@@ -186,6 +198,9 @@ func (s Snapshot) Fields() []Field {
 		{"cached_replies", s.CachedReplies},
 		{"late_replies", s.LateReplies},
 		{"stray_replies", s.StrayReplies},
+		{"batched_msgs", s.BatchedMsgs},
+		{"flushed_batches", s.FlushedBatches},
+		{"diff_pushes", s.DiffPushes},
 		{"invalidations", s.Invalidations},
 		{"forwards", s.Forwards},
 		{"page_transfers", s.PageTransfers},

@@ -56,6 +56,7 @@ func TestFieldsCoverEveryCounter(t *testing.T) {
 		Reads: 1, Writes: 1, ReadFaults: 1, WriteFaults: 1,
 		MsgsSent: 1, BytesSent: 1, MsgsRecv: 1, BytesRecv: 1,
 		MsgsDropped: 1, MsgsDuplicated: 1, Retries: 1,
+		BatchedMsgs: 1, FlushedBatches: 1, DiffPushes: 1,
 		DupRequests: 1, CachedReplies: 1, LateReplies: 1, StrayReplies: 1,
 		Invalidations: 1, Forwards: 1, PageTransfers: 1,
 		UpdatesApplied: 1, TwinCopies: 1, DiffsCreated: 1,

@@ -1,0 +1,39 @@
+package tcp
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// BenchmarkFrameRoundTrip measures one message over a real socket and
+// back through decode — the whole hot path: pooled frame build on the
+// sender, pooled receive buffer and cloning decode on the receiver.
+// The send side itself is allocation-free (see wire's
+// TestPooledFramePathZeroAlloc); the per-message payload clone on the
+// receive side is the deliberate cost that lets the connection's read
+// buffer be recycled.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	trs := newLoopbackCluster(b, 2, 0xbeef)
+	ep0 := trs[0].Endpoint(0)
+	ep1 := trs[1].Endpoint(1)
+	m := &wire.Msg{Kind: wire.KDiffReply, From: 0, To: 1, Req: 42, Data: make([]byte, 256)}
+	// Prime the lazy dial outside the measured loop.
+	if err := ep0.Send(m); err != nil {
+		b.Fatal(err)
+	}
+	<-ep1.Recv()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ep0.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if got := <-ep1.Recv(); got.Req != 42 {
+			b.Fatalf("round trip corrupted: %+v", got)
+		}
+	}
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)

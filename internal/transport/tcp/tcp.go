@@ -255,16 +255,7 @@ func (t *Transport) serveConn(conn net.Conn) {
 	from, err := t.verifyHandshake(conn)
 	if err != nil {
 		t.fail(fmt.Errorf("tcp: node %d: rejected connection from %s: %w", t.cfg.Self, conn.RemoteAddr(), err))
-		reason := err.Error()
-		if len(reason) > maxRejectLen {
-			reason = reason[:maxRejectLen]
-		}
-		reply := make([]byte, 3, 3+len(reason))
-		reply[0] = replyReject
-		binary.LittleEndian.PutUint16(reply[1:], uint16(len(reason)))
-		reply = append(reply, reason...)
-		_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
-		_, _ = conn.Write(reply)
+		sendReject(conn, err.Error())
 		return
 	}
 	if _, err := conn.Write([]byte{replyOK}); err != nil {
@@ -272,6 +263,10 @@ func (t *Transport) serveConn(conn net.Conn) {
 	}
 	t.ctr.Accepts.Add(1)
 	hdr := make([]byte, 4)
+	// One pooled receive buffer serves the whole connection: Decode
+	// copies payloads out, so the buffer is reusable frame after frame.
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			// EOF/reset: peer closed or died; its dialer owns recovery.
@@ -282,7 +277,10 @@ func (t *Transport) serveConn(conn net.Conn) {
 			t.fail(fmt.Errorf("tcp: node %d: frame length %d from node %d out of range", t.cfg.Self, n, from))
 			return
 		}
-		raw := make([]byte, n)
+		if cap(*bp) < int(n) {
+			*bp = make([]byte, n)
+		}
+		raw := (*bp)[:n]
 		if _, err := io.ReadFull(conn, raw); err != nil {
 			return
 		}
@@ -303,6 +301,22 @@ func (t *Transport) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// sendReject answers a failed handshake with a reject frame: status
+// byte, uint16 reason length, reason bytes. The reason is truncated
+// to maxRejectLen so an oversized error string can never write a
+// length the dialer would refuse to read (or overflow the uint16).
+func sendReject(conn net.Conn, reason string) {
+	if len(reason) > maxRejectLen {
+		reason = reason[:maxRejectLen]
+	}
+	reply := make([]byte, 3, 3+len(reason))
+	reply[0] = replyReject
+	binary.LittleEndian.PutUint16(reply[1:], uint16(len(reason)))
+	reply = append(reply, reason...)
+	_ = conn.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = conn.Write(reply)
 }
 
 // verifyHandshake reads and checks a dialer's handshake, returning
@@ -458,8 +472,13 @@ func (e *endpoint) Send(m *wire.Msg) error {
 	if to < 0 || int(to) >= len(t.cfg.Addrs) {
 		return fmt.Errorf("tcp: send to invalid node %d (cluster of %d)", to, len(t.cfg.Addrs))
 	}
-	frame := make([]byte, 4, 4+m.EncodedSize())
+	// Build the frame in a pooled buffer; nothing below keeps a
+	// reference past the write (the self path decodes a copy).
+	bp := wire.GetBuf()
+	defer wire.PutBuf(bp)
+	frame := append(*bp, 0, 0, 0, 0)
 	frame = m.Encode(frame)
+	*bp = frame
 	binary.LittleEndian.PutUint32(frame, uint32(len(frame)-4))
 	if to == t.cfg.Self {
 		dm, err := wire.Decode(frame[4:])

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+// allocMsg is a representative hot-path message: a diff reply with a
+// payload that fits the pool's initial buffer capacity.
+func allocMsg() *Msg {
+	return &Msg{
+		Kind: KDiffReply, From: 2, To: 1, Req: 0x2000000005,
+		Page: 17, Arg: 3, B: 9, Data: make([]byte, 256),
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	m := allocMsg()
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Encode(buf[:0])
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	m := allocMsg()
+	raw := m.Encode(nil)
+	var out Msg
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(&out, raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures the cloning decode used by transports whose
+// receive buffer is recycled (one payload copy per message, by design).
+func BenchmarkDecode(b *testing.B) {
+	m := allocMsg()
+	raw := m.Encode(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPackBatch(b *testing.B) {
+	members := []*Msg{allocMsg(), allocMsg(), allocMsg(), allocMsg()}
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = PackBatch(buf[:0], members)
+	}
+}
+
+// disableGC turns garbage collection off for the duration of an
+// AllocsPerRun measurement: a collection mid-run may clear the buffer
+// pool, and the refill would be charged to the pooled path under test.
+func disableGC(t *testing.T) {
+	t.Helper()
+	old := debug.SetGCPercent(-1)
+	t.Cleanup(func() { debug.SetGCPercent(old) })
+}
+
+// TestPooledEncodeZeroAlloc pins the hot send path: with a pooled
+// buffer, encoding a message allocates nothing in steady state.
+func TestPooledEncodeZeroAlloc(t *testing.T) {
+	disableGC(t)
+	m := allocMsg()
+	if n := testing.AllocsPerRun(200, func() {
+		bp := GetBuf()
+		*bp = m.Encode((*bp)[:0])
+		PutBuf(bp)
+	}); n != 0 {
+		t.Fatalf("pooled encode allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestPooledFramePathZeroAlloc pins the TCP send framing shape: pooled
+// buffer, 4-byte length header, encode — no allocation in steady
+// state.
+func TestPooledFramePathZeroAlloc(t *testing.T) {
+	disableGC(t)
+	m := allocMsg()
+	if n := testing.AllocsPerRun(200, func() {
+		bp := GetBuf()
+		frame := append((*bp)[:0], 0, 0, 0, 0)
+		frame = m.Encode(frame)
+		*bp = frame
+		PutBuf(bp)
+	}); n != 0 {
+		t.Fatalf("pooled frame build allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestDecodeIntoZeroAlloc pins the borrowing decode: reusing the Msg
+// and aliasing the payload allocates nothing.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	disableGC(t)
+	m := allocMsg()
+	raw := m.Encode(nil)
+	var out Msg
+	if n := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&out, raw); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecodeInto allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestPackBatchZeroAlloc pins batch framing into a reused buffer.
+func TestPackBatchZeroAlloc(t *testing.T) {
+	disableGC(t)
+	members := []*Msg{allocMsg(), allocMsg(), allocMsg()}
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = PackBatch(buf[:0], members)
+	}); n != 0 {
+		t.Fatalf("PackBatch allocates %.1f objects/op, want 0", n)
+	}
+}

@@ -1,0 +1,44 @@
+package wire
+
+import "sync"
+
+// Encode/frame buffer pool. The message hot path used to allocate a
+// fresh byte slice per encoded message (simnet) and per TCP frame in
+// each direction; the pool makes those steady-state zero-allocation.
+// Buffers are passed as *[]byte so that returning one to the pool
+// does not itself allocate an interface box.
+//
+// Ownership rule (see DESIGN.md §4.8): the layer that calls GetBuf
+// owns the buffer and must be the one to PutBuf it, strictly after
+// the last reference to the bytes is gone. Decoded messages own their
+// payloads (Decode copies), so a receive buffer is safe to return
+// right after Decode; DecodeInto borrows, so its callers must not
+// return the buffer while the message is live.
+
+// maxPooledBuf caps the capacity of buffers kept by the pool, so one
+// huge page transfer does not pin megabytes in every pool shard.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled buffer of length zero. Append to *bp (the
+// slice may be reassigned freely) and pass the same pointer back to
+// PutBuf when the bytes are no longer referenced anywhere.
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. Oversized
+// buffers are dropped instead of retained. PutBuf(nil) is a no-op.
+func PutBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}

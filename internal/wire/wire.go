@@ -16,7 +16,10 @@ import (
 // during connection setup so that mismatched builds fail fast with a
 // clear error instead of desynchronizing mid-stream; bump it on any
 // incompatible change to Encode/Decode or the Kind vocabulary.
-const Version byte = 1
+//
+// v2: added KBatch (multi-message frames) and KDiffPush (one-way
+// interest-based diff distribution) to the vocabulary.
+const Version byte = 2
 
 // MaxEncodedSize caps one encoded message (64 MiB). Real-socket
 // transports reject longer frames before allocating, so a corrupt or
@@ -85,6 +88,12 @@ const (
 	// Lazy release consistency (proto/lrc).
 	KDiffReq   // Page, Arg=first interval seq, B=last interval seq (at writer From->To)
 	KDiffReply // reply: Data=concatenated length-prefixed diffs
+	KDiffPush  // one-way: Arg=interval seq, Data=packed (page, diff) list
+
+	// Batching (nodecore). A batch frame carries several complete
+	// encoded messages in Data (see PackBatch); the dispatch loop
+	// unpacks it and routes each member as if it had arrived alone.
+	KBatch
 
 	kindCount
 )
@@ -129,6 +138,8 @@ var kindNames = [...]string{
 	KErcUpdAck:    "erc-upd-ack",
 	KDiffReq:      "diff-req",
 	KDiffReply:    "diff-reply",
+	KDiffPush:     "diff-push",
+	KBatch:        "batch",
 }
 
 // String returns the kind's protocol name.
@@ -237,26 +248,47 @@ func (m *Msg) Encode(buf []byte) []byte {
 // encoded message. buf is untrusted (TCP transports feed it bytes
 // straight off a socket): every length field is bounds-checked, the
 // payload lengths are summed in 64 bits so they cannot overflow, and
-// any inconsistency returns an error. Decode never panics.
+// any inconsistency returns an error. Decode never panics. The
+// returned message owns its payloads (they are copied out of buf), so
+// buf may be reused or pooled immediately.
 func Decode(buf []byte) (*Msg, error) {
+	m := &Msg{}
+	if err := DecodeInto(m, buf); err != nil {
+		return nil, err
+	}
+	if len(m.Data) > 0 {
+		m.Data = append([]byte(nil), m.Data...)
+	}
+	if len(m.Aux) > 0 {
+		m.Aux = append([]byte(nil), m.Aux...)
+	}
+	return m, nil
+}
+
+// DecodeInto parses one message from buf into m, with the same
+// validation contract as Decode but without allocating: m.Data and
+// m.Aux are sub-slices of buf. The caller owns the aliasing — m is
+// valid only as long as buf is neither reused nor returned to a pool.
+// Previous contents of m are overwritten entirely.
+func DecodeInto(m *Msg, buf []byte) error {
 	if len(buf) < headerSize {
-		return nil, fmt.Errorf("wire: short message: %d bytes, need at least %d", len(buf), headerSize)
+		return fmt.Errorf("wire: short message: %d bytes, need at least %d", len(buf), headerSize)
 	}
 	if len(buf) > MaxEncodedSize {
-		return nil, fmt.Errorf("wire: oversized message: %d bytes exceeds cap %d", len(buf), MaxEncodedSize)
+		return fmt.Errorf("wire: oversized message: %d bytes exceeds cap %d", len(buf), MaxEncodedSize)
 	}
-	m := &Msg{}
+	*m = Msg{}
 	m.Kind = Kind(buf[0] &^ kindExtended)
 	off := 1
 	if buf[0]&kindExtended != 0 {
 		if len(buf) < headerSize+1 {
-			return nil, fmt.Errorf("wire: short extended message: %d bytes", len(buf))
+			return fmt.Errorf("wire: short extended message: %d bytes", len(buf))
 		}
 		m.Attempt = buf[1]
 		off = 2
 	}
 	if m.Kind == KInvalid || m.Kind >= kindCount {
-		return nil, fmt.Errorf("wire: unknown kind %d", buf[0])
+		return fmt.Errorf("wire: unknown kind %d", buf[0])
 	}
 	m.From = int32(binary.LittleEndian.Uint32(buf[off:]))
 	m.To = int32(binary.LittleEndian.Uint32(buf[off+4:]))
@@ -269,15 +301,15 @@ func Decode(buf []byte) (*Msg, error) {
 	na := binary.LittleEndian.Uint32(buf[off+44:])
 	rest := buf[off+48:]
 	if uint64(nd)+uint64(na) != uint64(len(rest)) {
-		return nil, fmt.Errorf("wire: payload length mismatch: header says %d+%d, have %d", nd, na, len(rest))
+		return fmt.Errorf("wire: payload length mismatch: header says %d+%d, have %d", nd, na, len(rest))
 	}
 	if nd > 0 {
-		m.Data = append([]byte(nil), rest[:nd]...)
+		m.Data = rest[:nd:nd]
 	}
 	if na > 0 {
-		m.Aux = append([]byte(nil), rest[nd:]...)
+		m.Aux = rest[nd : nd+na : nd+na]
 	}
-	return m, nil
+	return nil
 }
 
 // String renders a compact human-readable form for traces.
