@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-alloc chaos tcp-smoke experiments examples fmt vet clean
+.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke experiments examples fmt vet clean
 
 all: build test
 
@@ -12,20 +12,22 @@ build:
 # Default test gate: vet, the full suite, the chaos/reliability and
 # transport packages again under the race detector (their concurrency
 # is the newest and the most delicate), the allocation-regression
-# gate, and the multi-process TCP smoke run.
-test: vet tcp-smoke bench-alloc
+# gate, the multi-process TCP smoke run, and the tracing smoke run.
+test: vet tcp-smoke trace-smoke bench-alloc
 	$(GO) test ./... -timeout 1200s
-	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster
+	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster ./internal/trace
 
 # Allocation regression gate. The thresholds are checked into the
 # tests themselves: the ZeroAlloc tests assert 0 allocs/op in steady
 # state for the pooled encode/frame/diff paths (testing.AllocsPerRun
-# with GC parked). The benchmarks print current numbers for the
+# with GC parked) and for the tracing layer both disabled (nil tracer,
+# nil histograms — the default hot path) and enabled (ring emit,
+# histogram observe). The benchmarks print current numbers for the
 # paths that clone by design (receive-side decode).
 bench-alloc:
-	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/
-	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip' \
-		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/
+	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/
+	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|HistObserve' \
+		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/
 
 short:
 	$(GO) test ./... -short -timeout 600s
@@ -47,6 +49,13 @@ chaos:
 tcp-smoke:
 	$(GO) run ./cmd/dsmrun -transport tcp -nodes 3 -app sor -proto sc-fixed
 	$(GO) run ./cmd/dsmrun -transport tcp -nodes 3 -app sor -proto lrc
+
+# Tracing acceptance gate: a 4-node SOR with tracing on emits causally
+# consistent streams from every node whose Chrome export parses, an
+# identically seeded untraced run produces identical traffic counters
+# (observation-only), and chaos injections land in the stream.
+trace-smoke:
+	$(GO) test -run 'TestTraceSmoke|TestTracingIsObservationOnly|TestTraceChaos' -count=1 ./internal/trace/
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

@@ -6,9 +6,19 @@
 //
 //	dsmrun -app sor -proto lrc -nodes 8 -page 1024
 //	dsmrun -app sor -proto sc-fixed -chaos       # under fault injection
+//	dsmrun -app sor -trace out.json              # Chrome/Perfetto trace
+//	dsmrun -app sor -stats json                  # machine-readable output
 //	dsmrun -transport tcp -nodes 3 -app sor      # multi-process demo
 //	dsmrun -transport tcp -node 1 -peers h0:p0,h1:p1,h2:p2 -app sor
+//	dsmrun -transport tcp -nodes 3 -app sor -debug-addr 127.0.0.1:0
 //	dsmrun -list
+//
+// -trace writes a Chrome trace-event file loadable in Perfetto
+// (ui.perfetto.dev) with one track per node and flow arrows pairing
+// each RPC send with its receive. Under -transport tcp each process
+// writes its own FILE.node<id>. -debug-addr (tcp only) serves /stats,
+// /trace, /histograms, and /debug/pprof/ per node while the run is
+// live; with the loopback demo use a :0 port so every child can bind.
 //
 // With -transport tcp each DSM node is its own OS process talking
 // over real sockets. Give every process the same -app/-proto/-page
@@ -20,6 +30,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -35,6 +46,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func protocols() map[string]core.Protocol {
@@ -77,8 +89,15 @@ func main() {
 	nodeID := flag.Int("node", -1, "with -transport tcp: this process's node id; -1 spawns the whole cluster on loopback")
 	peers := flag.String("peers", "", "with -transport tcp: comma-separated host:port of every node, in id order")
 	listenFD := flag.Uint("listen-fd", 0, "inherited listener file descriptor (set by the loopback demo for its children)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (enables event tracing; tcp nodes write FILE.node<id>)")
+	statsFmt := flag.String("stats", "table", "stats output format: table or json")
+	debugAddr := flag.String("debug-addr", "", "with -transport tcp: serve the HTTP debug endpoint (stats, trace, histograms, pprof) on this address")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	flag.Parse()
+
+	if *statsFmt != "table" && *statsFmt != "json" {
+		fatal("-stats must be table or json, got %q", *statsFmt)
+	}
 
 	scale := apps.Small
 	if *medium {
@@ -110,7 +129,10 @@ func main() {
 
 	switch *transportName {
 	case "sim":
-		runSim(app, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed)
+		if *debugAddr != "" {
+			fatal("-debug-addr is for -transport tcp; the simulator exposes everything in-process")
+		}
+		runSim(app, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed, *traceFile, *statsFmt)
 	case "tcp":
 		if *chaosOn {
 			fatal("-chaos is simulator-only (a real network brings its own faults)")
@@ -119,7 +141,7 @@ func main() {
 			fatal("-latency/-perbyte model the simulator; the real network has real latency")
 		}
 		if *nodeID >= 0 {
-			runTCPNode(app, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD)
+			runTCPNode(app, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD, *traceFile, *statsFmt, *debugAddr)
 		} else {
 			runTCPDemo(*nodes, *peers)
 		}
@@ -128,18 +150,90 @@ func main() {
 	}
 }
 
+// nodeJSON is one node's machine-readable stats entry.
+type nodeJSON struct {
+	Node       int                      `json:"node"`
+	Counters   map[string]int64         `json:"counters"`
+	Histograms []trace.HistogramSummary `json:"histograms,omitempty"`
+}
+
+// reportJSON is the -stats json document.
+type reportJSON struct {
+	App       string     `json:"app"`
+	Protocol  string     `json:"protocol"`
+	Nodes     int        `json:"nodes"`
+	Page      int        `json:"page"`
+	ElapsedMs float64    `json:"elapsed_ms"`
+	Verify    string     `json:"verify"`
+	PerNode   []nodeJSON `json:"per_node"`
+	Total     nodeJSON   `json:"total"`
+}
+
+func counterMap(s stats.Snapshot) map[string]int64 {
+	out := make(map[string]int64)
+	for _, f := range s.Fields() {
+		out[f.Name] = f.Value
+	}
+	return out
+}
+
+func nodeEntry(id int, s stats.Snapshot) nodeJSON {
+	n := nodeJSON{Node: id, Counters: counterMap(s)}
+	if s.Lat != nil {
+		n.Histograms = trace.HistogramSummaries(*s.Lat)
+	}
+	return n
+}
+
+func printJSON(app apps.App, proto core.Protocol, nodes, page int, elapsed time.Duration, verdict string, snaps []stats.Snapshot, firstNode int) {
+	rep := reportJSON{
+		App:       app.Name(),
+		Protocol:  proto.String(),
+		Nodes:     nodes,
+		Page:      page,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		Verify:    verdict,
+		Total:     nodeEntry(-1, stats.Sum(snaps)),
+	}
+	for i, s := range snaps {
+		rep.PerNode = append(rep.PerNode, nodeEntry(firstNode+i, s))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal("encode stats: %v", err)
+	}
+}
+
+// writeChromeFile dumps the streams as a Chrome trace-event file.
+func writeChromeFile(path string, streams []trace.Stream) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := trace.WriteChrome(f, streams); err != nil {
+		f.Close()
+		fatal("write trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatal("write trace: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "dsmrun: wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", path)
+}
+
 // runSim is the classic mode: the whole cluster in this process over
 // the simulated network.
-func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64) {
+func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64, traceFile, statsFmt string) {
 	cfg := core.Config{
-		Nodes:     nodes,
-		Protocol:  proto,
-		PageSize:  page,
-		HeapBytes: 1 << 22,
-		Latency:   latency,
-		PerByte:   perByte,
-		Advise:    advise,
-		Seed:      seed,
+		Nodes:      nodes,
+		Protocol:   proto,
+		PageSize:   page,
+		HeapBytes:  1 << 22,
+		Latency:    latency,
+		PerByte:    perByte,
+		Advise:     advise,
+		Seed:       seed,
+		EventTrace: traceFile != "",
 	}
 	var plan chaos.Plan
 	if chaosOn {
@@ -174,15 +268,22 @@ func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte
 	if err := app.Verify(c); err != nil {
 		verdict = err.Error()
 	}
-	fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n",
-		app.Name(), proto, nodes, page, elapsed.Round(time.Microsecond), verdict)
-	fmt.Printf("transport=%s %v\n\n", c.TransportName(), c.TransportCounters())
-	fmt.Print(stats.PerNodeReport(c.Stats()))
-	if chaosOn {
-		fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
+	if traceFile != "" {
+		writeChromeFile(traceFile, c.TraceStreams())
 	}
-	if adv := c.Advisor(); adv != nil {
-		fmt.Printf("\nsharing-pattern classification (Munin-style):\n%s", adv.Report())
+	if statsFmt == "json" {
+		printJSON(app, proto, nodes, page, elapsed, verdict, c.Stats(), 0)
+	} else {
+		fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n",
+			app.Name(), proto, nodes, page, elapsed.Round(time.Microsecond), verdict)
+		fmt.Printf("transport=%s %v\n\n", c.TransportName(), c.TransportCounters())
+		fmt.Print(stats.PerNodeReport(c.Stats()))
+		if chaosOn {
+			fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
+		}
+		if adv := c.Advisor(); adv != nil {
+			fmt.Printf("\nsharing-pattern classification (Munin-style):\n%s", adv.Report())
+		}
 	}
 	if verdict != "ok" {
 		os.Exit(1)
@@ -190,7 +291,7 @@ func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte
 }
 
 // runTCPNode hosts one node of a multi-process cluster.
-func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint) {
+func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint, traceFile, statsFmt, debugAddr string) {
 	if peers == "" {
 		fatal("-transport tcp -node %d needs -peers host:port,... for every node", self)
 	}
@@ -212,19 +313,31 @@ func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed i
 		HeapBytes:       1 << 22,
 		Advise:          advise,
 		Seed:            seed,
+		EventTrace:      traceFile != "" || debugAddr != "",
 		WatchdogTimeout: 30 * time.Second,
 	}
 	start := time.Now()
 	res, err := cluster.RunNode(cluster.NodeOpts{
-		Cfg:      cfg,
-		App:      app,
-		Self:     self,
-		Addrs:    addrs,
-		Listener: ln,
-		Verify:   self == 0, // node 0 checks against the sequential reference
+		Cfg:       cfg,
+		App:       app,
+		Self:      self,
+		Addrs:     addrs,
+		Listener:  ln,
+		Verify:    self == 0, // node 0 checks against the sequential reference
+		DebugAddr: debugAddr,
+		OnDebug: func(addr string) {
+			fmt.Printf("node %d: debug endpoint http://%s\n", self, addr)
+		},
 	})
 	if err != nil {
 		fatal("node %d: %v", self, err)
+	}
+	if traceFile != "" && res.Trace != nil {
+		writeChromeFile(fmt.Sprintf("%s.node%d", traceFile, self), []trace.Stream{*res.Trace})
+	}
+	if statsFmt == "json" {
+		printJSON(app, proto, len(addrs), page, res.Elapsed, "ok", []stats.Snapshot{res.Stats}, self)
+		return
 	}
 	if self == 0 {
 		fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=ok\n",

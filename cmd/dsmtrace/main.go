@@ -1,12 +1,16 @@
-// dsmtrace runs a tiny annotated DSM episode and prints every
-// protocol message as it is delivered — a tutorial view of what a
-// page fault, an invalidation, a lock handoff, or a barrier actually
-// costs under each protocol.
+// dsmtrace runs a tiny annotated DSM episode and renders the merged
+// causal event timeline — a tutorial view of what a page fault, an
+// invalidation, a lock handoff, or a barrier actually costs under
+// each protocol. Events come from the per-node trace rings
+// (internal/trace) and are ordered by vector-clock causality, so a
+// receive never prints before its send even when node timestamps
+// disagree.
 //
 //	dsmtrace                 # producer-consumer under sc-fixed
 //	dsmtrace -proto lrc      # same episode under lazy release consistency
 //	dsmtrace -scenario lock  # a contended lock handoff
 //	dsmtrace -scenario event -proto ec  # data delivered by an event firing
+//	dsmtrace -json out.json  # also write a Chrome/Perfetto trace file
 package main
 
 import (
@@ -14,16 +18,15 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sync"
-	"time"
 
 	"repro/internal/core"
-	"repro/internal/wire"
+	"repro/internal/trace"
 )
 
 func main() {
 	protoName := flag.String("proto", "sc-fixed", "protocol")
 	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event")
+	jsonFile := flag.String("json", "", "also write a Chrome trace-event file")
 	flag.Parse()
 
 	var proto core.Protocol
@@ -43,17 +46,11 @@ func main() {
 		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event)", *scenario)
 	}
 
-	var mu sync.Mutex
-	start := time.Now()
 	cfg := core.Config{
-		Nodes:    3,
-		Protocol: proto,
-		PageSize: 256,
-		Trace: func(m *wire.Msg) {
-			mu.Lock()
-			fmt.Printf("%8.3fms  %s\n", float64(time.Since(start).Microseconds())/1000, m)
-			mu.Unlock()
-		},
+		Nodes:      3,
+		Protocol:   proto,
+		PageSize:   256,
+		EventTrace: true,
 	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
@@ -67,7 +64,6 @@ func main() {
 	c.Bind(1, counter, 8)
 
 	fmt.Printf("=== scenario %q under %s (3 nodes) ===\n", *scenario, proto)
-	start = time.Now()
 
 	switch *scenario {
 	case "producer":
@@ -166,6 +162,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	streams := c.TraceStreams()
+	merged := trace.Merge(streams)
+	if err := trace.CheckCausal(merged); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: timeline violates causality: %v\n", err)
+	}
+	if err := trace.WriteTimeline(os.Stdout, merged); err != nil {
+		log.Fatal(err)
+	}
+	if *jsonFile != "" {
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, streams); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (load at ui.perfetto.dev or chrome://tracing)\n", *jsonFile)
+	}
 	s := c.TotalStats()
-	fmt.Printf("=== done: %d messages, %d bytes, %d faults ===\n", s.MsgsSent, s.BytesSent, s.Faults())
+	fmt.Printf("=== done: %d events, %d messages, %d bytes, %d faults ===\n", len(merged), s.MsgsSent, s.BytesSent, s.Faults())
+	if s.Lat != nil {
+		for _, h := range trace.HistogramSummaries(*s.Lat) {
+			fmt.Printf("    %-12s n=%-4d p50=%.1fus p99=%.1fus max=%.1fus\n", h.Class, h.Count, h.P50Us, h.P99Us, h.MaxUs)
+		}
+	}
 }

@@ -79,6 +79,7 @@ func All() []Experiment {
 		{"e10", "Twin/diff ablation vs whole-page transfer", "TreadMarks diff studies", E10Diff},
 		{"e11", "Simulator vs real TCP loopback: identical results, measured wire overhead", "transport-independence check", E11Transport},
 		{"e12", "Message batching, diff pushes, and piggybacking", "TreadMarks/Munin communication-aggregation techniques", E12Batching},
+		{"e13", "Latency histograms: where protocol time goes, fault-free and under chaos", "per-phase latency attribution (TreadMarks-style breakdowns)", E13Latency},
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
 )
@@ -60,6 +61,15 @@ type NodeOpts struct {
 	// DialWindow bounds how long this node waits for peers to come up
 	// (default 15s).
 	DialWindow time.Duration
+	// DebugAddr, if non-empty, serves this node's HTTP debug endpoint
+	// (/stats, /trace, /histograms, /debug/pprof/) on that address for
+	// the run's duration. "127.0.0.1:0" picks a free port; pair with
+	// OnDebug to learn which. Trace and histogram routes carry data
+	// only when Cfg.EventTrace is set.
+	DebugAddr string
+	// OnDebug, if set, receives the bound debug address once the
+	// endpoint is listening (before the workload starts).
+	OnDebug func(addr string)
 }
 
 // Result is one node's view of a completed run.
@@ -74,6 +84,9 @@ type Result struct {
 	// and only for workloads implementing apps.Checker.
 	Checksum    uint64
 	HasChecksum bool
+	// Trace is this node's event stream, non-nil when Cfg.EventTrace
+	// was set (each process traces only its own node).
+	Trace *trace.Stream
 }
 
 // digestFor fingerprints everything the processes must agree on:
@@ -120,6 +133,20 @@ func RunNode(o NodeOpts) (*Result, error) {
 		return nil, err
 	}
 	defer c.Close()
+	if o.DebugAddr != "" {
+		ds, err := trace.ServeDebug(o.DebugAddr, trace.DebugConfig{
+			Node:   int32(o.Self),
+			Stats:  func() stats.Snapshot { return c.Stats()[0] },
+			Tracer: c.Tracer(o.Self),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: debug endpoint: %w", err)
+		}
+		defer ds.Close()
+		if o.OnDebug != nil {
+			o.OnDebug(ds.Addr())
+		}
+	}
 	if err := o.App.Setup(c); err != nil {
 		return nil, fmt.Errorf("cluster: %s setup: %w", o.App.Name(), err)
 	}
@@ -157,6 +184,10 @@ func RunNode(o NodeOpts) (*Result, error) {
 	}
 	res.Stats = c.Stats()[0]
 	res.Net = c.TransportCounters()
+	if tr := c.Tracer(o.Self); tr != nil {
+		s := tr.Stream()
+		res.Trace = &s
+	}
 	return res, nil
 }
 

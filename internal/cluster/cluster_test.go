@@ -2,8 +2,11 @@ package cluster
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"strconv"
@@ -305,6 +308,86 @@ func TestPeerDeathFailsLoudly(t *testing.T) {
 		if err == nil {
 			t.Errorf("node %d exited cleanly despite a dead peer:\n%s", i, outs[i].String())
 		}
+	}
+}
+
+// TestDebugEndpointServes: a TCP node started with DebugAddr answers
+// /stats, /trace, and /histograms over HTTP while the cluster is
+// live. The fetch happens from OnDebug, which fires after the node
+// joins but before the workload runs, so the endpoint provably serves
+// mid-session rather than from a post-run snapshot.
+func TestDebugEndpointServes(t *testing.T) {
+	lns, addrs := bindLoopback(t, 2)
+	cfg := core.Config{
+		Nodes:       2,
+		Protocol:    core.LRC,
+		EventTrace:  true,
+		CallTimeout: 10 * time.Second,
+	}
+	bodies := make(map[string][]byte)
+	var fetchErr error
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		opts := NodeOpts{
+			Cfg:      cfg,
+			App:      apps.NewSOR(24, 16, 6),
+			Self:     i,
+			Addrs:    addrs,
+			Listener: lns[i],
+		}
+		if i == 0 {
+			opts.DebugAddr = "127.0.0.1:0"
+			opts.OnDebug = func(addr string) {
+				for _, path := range []string{"/stats", "/trace", "/histograms"} {
+					resp, err := http.Get("http://" + addr + path)
+					if err != nil {
+						fetchErr = fmt.Errorf("%s: %w", path, err)
+						return
+					}
+					b, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fetchErr = fmt.Errorf("%s: %s", path, resp.Status)
+						return
+					}
+					bodies[path] = b
+				}
+			}
+		}
+		wg.Add(1)
+		go func(o NodeOpts) {
+			defer wg.Done()
+			_, errs[o.Self] = RunNode(o)
+		}(opts)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	if fetchErr != nil {
+		t.Fatal(fetchErr)
+	}
+	var st struct {
+		Node     int32            `json:"node"`
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(bodies["/stats"], &st); err != nil {
+		t.Fatalf("/stats is not valid JSON: %v\n%s", err, bodies["/stats"])
+	}
+	if st.Node != 0 || st.Counters == nil {
+		t.Fatalf("/stats = %+v", st)
+	}
+	var tr struct {
+		Node int32 `json:"node"`
+	}
+	if err := json.Unmarshal(bodies["/trace"], &tr); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	if !json.Valid(bodies["/histograms"]) {
+		t.Fatalf("/histograms is not valid JSON:\n%s", bodies["/histograms"])
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/nodecore"
 	"repro/internal/simnet"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -176,6 +177,20 @@ type Config struct {
 	// Trace, if set, observes every delivered message.
 	Trace func(*wire.Msg)
 
+	// EventTrace enables the causal event tracer (internal/trace):
+	// each node records protocol events (faults, RPCs, sync, diffs,
+	// chaos injections) into a ring buffer, exported through
+	// Cluster.TraceStreams, and collects the latency histograms
+	// reported by stats.PerNodeReport. Off by default; when off, the
+	// instrumented paths cost one branch, allocate nothing, and every
+	// counter matches a build without tracing. Node-local, so it is
+	// excluded from Digest and usable in distributed mode.
+	EventTrace bool
+	// TraceCapacity is the per-node trace ring size (rounded up to a
+	// power of two; default trace.DefaultCapacity). A full ring
+	// overwrites its oldest events.
+	TraceCapacity int
+
 	// Faults injects network faults (drops, duplicates, latency
 	// spikes) per the plan, seeded from Seed. Setting it also enables
 	// the nodes' reliability layer (retry/backoff + duplicate
@@ -252,8 +267,9 @@ type Cluster struct {
 	self int         // -1: all nodes local; else the one local node id
 	// nodes holds the locally hosted nodes: all of them in simulator
 	// mode, exactly one in distributed mode.
-	nodes []*Node
-	sts   []*stats.Node
+	nodes   []*Node
+	sts     []*stats.Node
+	tracers []*trace.Tracer // parallel to nodes; empty unless EventTrace
 
 	allocMu sync.Mutex
 	next    int64
@@ -377,9 +393,19 @@ func (c *Cluster) addNode(i int) error {
 		return err
 	}
 	st := &stats.Node{}
-	rt := nodecore.New(transport.NodeID(i), cfg.Nodes, c.tr.Endpoint(transport.NodeID(i)), tbl, st)
+	ep := c.tr.Endpoint(transport.NodeID(i))
+	rt := nodecore.New(transport.NodeID(i), cfg.Nodes, ep, tbl, st)
 	if cfg.CallTimeout > 0 {
 		rt.SetCallTimeout(cfg.CallTimeout)
+	}
+	if cfg.EventTrace {
+		st.Lat = &stats.LatHists{}
+		tr := trace.New(int32(i), cfg.Nodes, cfg.TraceCapacity)
+		rt.SetTracer(tr)
+		if sep, ok := ep.(*simnet.Endpoint); ok {
+			sep.SetTracer(tr) // chaos injections land in the stream too
+		}
+		c.tracers = append(c.tracers, tr)
 	}
 	if cfg.Faults != nil || cfg.Retry != nil || c.self >= 0 {
 		var policy nodecore.RetryPolicy
@@ -555,6 +581,28 @@ func (c *Cluster) TotalStats() stats.Snapshot { return stats.Sum(c.Stats()) }
 // Advisor returns the sharing-pattern collector, or nil unless
 // Config.Advise was set.
 func (c *Cluster) Advisor() *advisor.Collector { return c.adv }
+
+// Tracer returns locally hosted node i's event tracer, or nil unless
+// Config.EventTrace was set. In distributed mode only the local node
+// has one; other ids return nil.
+func (c *Cluster) Tracer(i int) *trace.Tracer {
+	for _, t := range c.tracers {
+		if int(t.Node()) == i {
+			return t
+		}
+	}
+	return nil
+}
+
+// TraceStreams snapshots every locally hosted node's trace ring for
+// merging and export. Empty unless Config.EventTrace was set.
+func (c *Cluster) TraceStreams() []trace.Stream {
+	out := make([]trace.Stream, 0, len(c.tracers))
+	for _, t := range c.tracers {
+		out = append(out, t.Stream())
+	}
+	return out
+}
 
 // Alloc reserves n bytes of shared address space aligned to align (a
 // power of two; 0 means 8). Allocation is a deterministic bump

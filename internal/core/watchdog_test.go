@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/nodecore"
 )
 
 // TestWatchdogDetectsStall: a held-forever lock stalls the cluster
@@ -33,6 +35,60 @@ func TestWatchdogDetectsStall(t *testing.T) {
 		if !strings.Contains(err.Error(), want) {
 			t.Fatalf("error %q missing %q", err, want)
 		}
+	}
+}
+
+// TestWatchdogSeesThroughDuplicateChatter: with an aggressive retry
+// policy, a node stuck on a never-released lock keeps retransmitting
+// its lock-req, and the manager suppresses every retransmit as a
+// duplicate. That traffic is dispatched but useless — the watchdog's
+// progress signal (UsefulDispatched) must exclude it and still fire,
+// and the stall report must name the stuck call and the peer it waits
+// on.
+func TestWatchdogSeesThroughDuplicateChatter(t *testing.T) {
+	c, err := NewCluster(Config{
+		Nodes:           2,
+		WatchdogTimeout: 400 * time.Millisecond,
+		Retry: &nodecore.RetryPolicy{
+			AttemptTimeout: 25 * time.Millisecond,
+			BackoffCap:     50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) error {
+		// Lock 2's manager is node 0 (2 % 2), so node 1's stuck
+		// acquire shows up in the report as "lock-req to 0".
+		if n.ID() == 0 {
+			if err := n.Acquire(2); err != nil {
+				return err
+			}
+			<-n.Runtime().Done() // hold until shutdown
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond) // let node 0 win the lock
+		return n.Acquire(2)
+	})
+	if err == nil {
+		t.Fatal("stalled run returned nil")
+	}
+	for _, want := range []string{"watchdog", "no message progress", "lock-req to 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+	// The chatter really happened: the manager must have suppressed
+	// retransmitted requests as duplicates while the watchdog counted
+	// no progress. Retries without DupRequests would mean the dedup
+	// table isn't seeing the traffic this test is about.
+	total := c.TotalStats()
+	if total.Retries == 0 {
+		t.Fatal("retry policy produced no retransmissions; test scenario broken")
+	}
+	if total.DupRequests == 0 {
+		t.Fatalf("no duplicate-suppressed requests recorded (retries=%d); watchdog was not exercised against chatter", total.Retries)
 	}
 }
 

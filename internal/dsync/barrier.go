@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -16,11 +17,13 @@ import (
 // iterate-then-barrier loop).
 func (s *Service) Barrier(id int32) error {
 	start := time.Now()
+	tr := s.rt.Tracer()
 	payload := s.hooks.BarrierArrive(id)
 	to := s.managerOf(id)
 	if s.cfg.TreeBarrier {
 		to = s.rt.ID() // arrivals aggregate locally and flow up the tree
 	}
+	tr.Emit(trace.EvBarArrive, int32(to), 0, -1, id, 0, 0)
 	reply, err := s.rt.CallT(&wire.Msg{
 		Kind: wire.KBarArrive,
 		To:   to,
@@ -30,9 +33,14 @@ func (s *Service) Barrier(id int32) error {
 	if err != nil {
 		return fmt.Errorf("dsync: barrier %d: %w", id, err)
 	}
+	wait := time.Since(start)
 	st := s.rt.Stats()
 	st.BarrierWaits.Add(1)
-	st.BarrierWaitNs.Add(time.Since(start).Nanoseconds())
+	st.BarrierWaitNs.Add(wait.Nanoseconds())
+	if st.Lat != nil {
+		st.Lat.BarrierWait.Observe(wait.Nanoseconds())
+	}
+	tr.Emit(trace.EvBarRelease, int32(reply.From), 0, -1, id, 0, wait)
 	s.hooks.OnBarrierRelease(id, reply.Data)
 	return nil
 }

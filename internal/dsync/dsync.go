@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/nodecore"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -226,6 +227,8 @@ func (s *Service) AcquireShared(id int32) error { return s.acquire(id, Shared) }
 
 func (s *Service) acquire(id int32, mode Mode) error {
 	start := time.Now()
+	tr := s.rt.Tracer()
+	tr.Emit(trace.EvLockAcquire, int32(s.managerOf(id)), 0, -1, id, uint64(mode), 0)
 	payload := s.hooks.AcquirePayload(id)
 	reply, err := s.rt.CallT(&wire.Msg{
 		Kind: wire.KLockReq,
@@ -237,10 +240,15 @@ func (s *Service) acquire(id int32, mode Mode) error {
 	if err != nil {
 		return fmt.Errorf("dsync: acquire lock %d: %w", id, err)
 	}
+	wait := time.Since(start)
 	st := s.rt.Stats()
 	st.LockAcquires.Add(1)
-	st.LockWaitNs.Add(time.Since(start).Nanoseconds())
+	st.LockWaitNs.Add(wait.Nanoseconds())
 	st.GrantPayloadBytes.Add(int64(len(reply.Data)))
+	if st.Lat != nil {
+		st.Lat.LockWait.Observe(wait.Nanoseconds())
+	}
+	tr.Emit(trace.EvLockGrant, int32(reply.From), 0, -1, id, uint64(mode), wait)
 	s.hooks.OnGranted(id, mode, reply.Data)
 	return nil
 }

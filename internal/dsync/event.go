@@ -54,9 +54,13 @@ func (s *Service) EventWait(id int32) error {
 	if err != nil {
 		return fmt.Errorf("dsync: wait event %d: %w", id, err)
 	}
+	wait := time.Since(start)
 	st := s.rt.Stats()
-	st.LockWaitNs.Add(time.Since(start).Nanoseconds())
+	st.LockWaitNs.Add(wait.Nanoseconds())
 	st.GrantPayloadBytes.Add(int64(len(reply.Data)))
+	if st.Lat != nil {
+		st.Lat.LockWait.Observe(wait.Nanoseconds())
+	}
 	s.hooks.OnGranted(eventHookID(id), Shared, reply.Data)
 	return nil
 }

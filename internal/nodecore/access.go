@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 // ReadAt copies len(buf) bytes of shared memory starting at addr into
@@ -47,7 +49,7 @@ func (r *Runtime) readChunk(c mem.Chunk, buf []byte) error {
 		p.LatchAcquire()
 		p.Unlock()
 		r.st.ReadFaults.Add(1)
-		err := r.engine.ReadFault(c.Page)
+		err := r.servedFault(c.Page, false)
 		p.Lock()
 		p.LatchRelease()
 		if err != nil {
@@ -56,6 +58,37 @@ func (r *Runtime) readChunk(c mem.Chunk, buf []byte) error {
 	}
 	p.ReadInto(buf[c.Pos:c.Pos+c.Len], c.Off)
 	return nil
+}
+
+// servedFault runs the engine's fault handler for page, timing it into
+// the fault-service histogram and the trace ring when observability is
+// on. With both off (the default) it is a single branch around the
+// engine call.
+func (r *Runtime) servedFault(page mem.PageID, write bool) error {
+	if r.st.Lat == nil && r.tracer == nil {
+		if write {
+			return r.engine.WriteFault(page)
+		}
+		return r.engine.ReadFault(page)
+	}
+	var rw uint64
+	if write {
+		rw = 1
+	}
+	r.tracer.Emit(trace.EvFaultBegin, -1, 0, page, -1, rw, 0)
+	start := time.Now()
+	var err error
+	if write {
+		err = r.engine.WriteFault(page)
+	} else {
+		err = r.engine.ReadFault(page)
+	}
+	d := time.Since(start)
+	if r.st.Lat != nil {
+		r.st.Lat.Fault.Observe(d.Nanoseconds())
+	}
+	r.tracer.Emit(trace.EvFaultEnd, -1, 0, page, -1, rw, d)
+	return err
 }
 
 // WriteAt copies buf into shared memory starting at addr, faulting
@@ -95,7 +128,7 @@ func (r *Runtime) writeChunk(c mem.Chunk, buf []byte) error {
 		p.LatchAcquire()
 		p.Unlock()
 		r.st.WriteFaults.Add(1)
-		err := r.engine.WriteFault(c.Page)
+		err := r.servedFault(c.Page, true)
 		p.Lock()
 		p.LatchRelease()
 		if err != nil {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -173,6 +174,9 @@ func (b *batcher) flushDestLocked(to transport.NodeID) error {
 func (b *batcher) sendLocked(to transport.NodeID, members []*wire.Msg) error {
 	if len(members) == 1 {
 		return b.r.ep.Send(members[0])
+	}
+	if b.r.tracer != nil {
+		b.r.tracer.Emit(trace.EvBatchFlush, to, 0, -1, -1, uint64(len(members)), 0)
 	}
 	bp := wire.GetBuf()
 	batch := &wire.Msg{Kind: wire.KBatch, From: b.r.id, To: to}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/mem"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -99,6 +100,11 @@ type Runtime struct {
 
 	// Batching layer (inactive unless EnableBatching was called).
 	batcher *batcher
+
+	// tracer records protocol events when event tracing is enabled;
+	// nil (the default) keeps every instrumented path at one
+	// predictable branch and zero allocations.
+	tracer *trace.Tracer
 
 	dispatched atomic.Int64 // messages processed by the dispatch loop
 }
@@ -220,6 +226,17 @@ func (r *Runtime) SetCallTimeout(d time.Duration) { r.callTimeout = d }
 // shared-memory access is then recorded per (page, node).
 func (r *Runtime) SetAccessCollector(c *advisor.Collector) { r.collector = c }
 
+// SetTracer attaches an event tracer. Must be called before Start.
+func (r *Runtime) SetTracer(t *trace.Tracer) { r.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
+
+// emitMsg records an RPC event for m. Callers guard r.tracer != nil.
+func (r *Runtime) emitMsg(typ trace.Type, peer int32, m *wire.Msg) {
+	r.tracer.Emit(typ, peer, m.Req, m.Page, m.Lock, trace.MsgArg(uint8(m.Kind), m.Attempt), 0)
+}
+
 // SetEngine attaches the protocol engine and installs its handlers.
 func (r *Runtime) SetEngine(e Engine) {
 	r.engine = e
@@ -297,6 +314,9 @@ func (r *Runtime) dispatch() {
 // mechanism sees them exactly as it would lone messages.
 func (r *Runtime) deliver(m *wire.Msg) {
 	r.dispatched.Add(1)
+	if r.tracer != nil && m.From != r.id {
+		r.emitMsg(trace.EvRecv, m.From, m)
+	}
 	if m.Kind.IsReply() {
 		r.pendMu.Lock()
 		pc, ok := r.pending[m.Req]
@@ -331,6 +351,9 @@ func (r *Runtime) deliver(m *wire.Msg) {
 				// We relayed this request; re-send the recorded
 				// relay copy and let its table take over.
 				cp := *fwd
+				if r.tracer != nil && cp.To != r.id {
+					r.emitMsg(trace.EvSend, cp.To, &cp)
+				}
 				_ = r.ep.Send(&cp)
 			}
 			// Inflight: the first copy's handler will reply.
@@ -449,6 +472,11 @@ func (r *Runtime) Send(m *wire.Msg) error {
 		cp.Aux = append([]byte(nil), m.Aux...)
 		r.dedup.completed(m.To, m.Req, &cp)
 	}
+	if r.tracer != nil && m.To != r.id {
+		// Emitted before the transmission so a zero-latency delivery
+		// cannot timestamp the recv ahead of its send.
+		r.emitMsg(trace.EvSend, m.To, m)
+	}
 	if r.batcher != nil && m.To != r.id {
 		return r.batcher.sendWithPending(m)
 	}
@@ -479,6 +507,11 @@ func (r *Runtime) SendBatched(m *wire.Msg) error {
 	if r.batcher == nil || m.To == r.id {
 		return r.Send(m)
 	}
+	if r.tracer != nil {
+		// The logical send happens now, even though the bytes may sit
+		// in the batch queue until a flush or piggyback opportunity.
+		r.emitMsg(trace.EvSend, m.To, m)
+	}
 	return r.batcher.enqueue(m)
 }
 
@@ -505,6 +538,9 @@ func (r *Runtime) Forward(m *wire.Msg, to transport.NodeID) error {
 		r.dedup.forwarded(m.From, m.Req, &cp)
 	}
 	r.st.Forwards.Add(1)
+	if r.tracer != nil && fwd.To != r.id {
+		r.emitMsg(trace.EvSend, fwd.To, &fwd)
+	}
 	return r.ep.Send(&fwd)
 }
 
@@ -518,6 +554,18 @@ func (r *Runtime) Call(m *wire.Msg) (*wire.Msg, error) {
 // (capped exponential backoff, deterministic jitter, bounded
 // attempts); the receive-side dedup table makes retransmission safe.
 func (r *Runtime) CallT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
+	var start time.Time
+	if r.st.Lat != nil {
+		start = time.Now()
+	}
+	reply, err := r.callT(m, timeout)
+	if err == nil && !start.IsZero() {
+		r.st.Lat.RPC.Observe(time.Since(start).Nanoseconds())
+	}
+	return reply, err
+}
+
+func (r *Runtime) callT(m *wire.Msg, timeout time.Duration) (*wire.Msg, error) {
 	if r.reliable {
 		return r.callRetry(m, timeout)
 	}
@@ -590,6 +638,11 @@ func (r *Runtime) CallBatched(msgs []*wire.Msg) ([]*wire.Msg, error) {
 			members := make([]*wire.Msg, len(idxs))
 			for j, i := range idxs {
 				members[j] = msgs[i]
+				if r.tracer != nil {
+					// Before the frame goes out, as everywhere; the rare
+					// frame error re-sends (and re-traces) individually.
+					r.emitMsg(trace.EvSend, to, msgs[i])
+				}
 			}
 			if err := b.sendBatchFrame(to, members); err == nil {
 				for _, i := range idxs {
@@ -601,6 +654,10 @@ func (r *Runtime) CallBatched(msgs []*wire.Msg) ([]*wire.Msg, error) {
 	}
 	replies := make([]*wire.Msg, len(msgs))
 	errs := make([]error, len(msgs))
+	var start time.Time
+	if r.st.Lat != nil {
+		start = time.Now()
+	}
 	var wg sync.WaitGroup
 	for i, m := range msgs {
 		wg.Add(1)
@@ -608,16 +665,19 @@ func (r *Runtime) CallBatched(msgs []*wire.Msg) ([]*wire.Msg, error) {
 			defer wg.Done()
 			if r.reliable {
 				replies[i], errs[i] = r.retryLoop(m, chs[i], r.callTimeout, preSent[i])
-				return
-			}
-			if !preSent[i] {
-				if err := r.Send(m); err != nil {
-					r.unregister(m.Req)
-					errs[i] = err
-					return
+			} else {
+				if !preSent[i] {
+					if err := r.Send(m); err != nil {
+						r.unregister(m.Req)
+						errs[i] = err
+						return
+					}
 				}
+				replies[i], errs[i] = r.awaitReply(m, chs[i], r.callTimeout)
 			}
-			replies[i], errs[i] = r.awaitReply(m, chs[i], r.callTimeout)
+			if errs[i] == nil && !start.IsZero() {
+				r.st.Lat.RPC.Observe(time.Since(start).Nanoseconds())
+			}
 		}(i, m)
 	}
 	wg.Wait()
@@ -676,6 +736,9 @@ func (r *Runtime) retryLoop(m *wire.Msg, ch chan *wire.Msg, timeout time.Duratio
 			a = 255
 		}
 		m.Attempt = uint8(a)
+		if attempt > 0 && r.tracer != nil {
+			r.emitMsg(trace.EvRetry, m.To, m)
+		}
 		if attempt > 0 || !preSent {
 			if err := r.Send(m); err != nil {
 				r.unregister(m.Req)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -128,6 +129,7 @@ func (e *Engine) fetch(pg mem.PageID) error {
 		// a protocol bug.
 		return fmt.Errorf("erc: node %d: fault on self-homed page %d", e.rt.ID(), pg)
 	}
+	e.rt.Tracer().Emit(trace.EvDiffFetch, int32(home), 0, pg, -1, 0, 0)
 	reply, err := e.rt.Call(&wire.Msg{Kind: wire.KErcFetch, To: home, Page: pg})
 	if err != nil {
 		return err
@@ -199,6 +201,7 @@ func (e *Engine) flushAll() {
 			}(f)
 			continue
 		}
+		e.rt.Tracer().Emit(trace.EvDiffPush, int32(e.homeOf(f.pg)), 0, f.pg, -1, 0, 0)
 		msgs = append(msgs, &wire.Msg{Kind: wire.KErcFlush, To: e.homeOf(f.pg), Page: f.pg, Data: f.diff})
 	}
 	// Remote flushes to the same home share a frame under batching

@@ -37,6 +37,7 @@ import (
 	"repro/internal/dsync"
 	"repro/internal/mem"
 	"repro/internal/nodecore"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vclock"
 	"repro/internal/wire"
@@ -270,6 +271,7 @@ func (e *Engine) validate(pg mem.PageID) error {
 		go func(node int32, js []job, lo, hi uint32) {
 			defer wg.Done()
 			e.rt.Stats().DiffFetches.Add(1)
+			e.rt.Tracer().Emit(trace.EvDiffFetch, node, 0, pg, -1, 0, 0)
 			reply, err := e.rt.Call(&wire.Msg{
 				Kind: wire.KDiffReq,
 				To:   transport.NodeID(node),
@@ -448,6 +450,11 @@ func (e *Engine) closeInterval(collect bool) []pushEntry {
 		byReader[to] = append(byReader[to], pageDiff{pg: pe.pg, diff: pe.diff})
 	}
 	for to, list := range byReader {
+		if tr := e.rt.Tracer(); tr != nil {
+			for _, pd := range list {
+				tr.Emit(trace.EvDiffPush, int32(to), 0, pd.pg, -1, uint64(seq), 0)
+			}
+		}
 		_ = e.rt.SendBatched(&wire.Msg{Kind: wire.KDiffPush, To: to, Arg: uint64(seq), Data: encodePushList(list)})
 	}
 	// Flush now rather than ride the latency cap: the peers these
@@ -475,6 +482,9 @@ func (e *Engine) insert(iv *interval) {
 	}
 	e.log[node] = append(e.log[node], iv)
 	e.vc.Merge(iv.vc)
+	// Fold the protocol clock into the trace clock so events after
+	// this acquire causally dominate the releaser's traced events.
+	e.rt.Tracer().MergeClock(iv.vc)
 	for _, pg := range iv.pages {
 		e.rt.Stats().WriteNotices.Add(1)
 		if e.homeBased && e.homeOf(pg) == e.rt.ID() {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -244,6 +245,8 @@ func (n *Net) Partition(a, b NodeID, d time.Duration) {
 		pair.mu.Unlock()
 	}
 	n.faults.PartitionsOpened.Add(1)
+	n.eps[a].tr.Emit(trace.EvChaos, int32(b), 0, -1, -1, trace.ChaosPartition, d)
+	n.eps[b].tr.Emit(trace.EvChaos, int32(a), 0, -1, -1, trace.ChaosPartition, d)
 	go func() {
 		t := time.NewTimer(d)
 		defer t.Stop()
@@ -265,6 +268,7 @@ func (n *Net) StallNode(id NodeID, d time.Duration) {
 	}
 	n.queues[id].stall(time.Now().Add(d))
 	n.faults.Stalls.Add(1)
+	n.eps[id].tr.Emit(trace.EvChaos, -1, 0, -1, -1, trace.ChaosStall, d)
 }
 
 // Close shuts the network down. Messages still in flight are
@@ -294,6 +298,7 @@ type Endpoint struct {
 	id    NodeID
 	inbox chan *wire.Msg
 	st    *stats.Node
+	tr    *trace.Tracer
 }
 
 // ID returns the endpoint's node id.
@@ -301,6 +306,11 @@ func (e *Endpoint) ID() NodeID { return e.id }
 
 // SetStats attaches a counter set; nil disables accounting.
 func (e *Endpoint) SetStats(st *stats.Node) { e.st = st }
+
+// SetTracer attaches an event tracer so the injections this endpoint
+// experiences (drops, duplicates, spikes, partitions, stalls) appear
+// in its node's trace stream. Nil (the default) records nothing.
+func (e *Endpoint) SetTracer(t *trace.Tracer) { e.tr = t }
 
 // Recv returns the channel of delivered messages. It is closed when
 // the network shuts down.
@@ -347,6 +357,7 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 			if e.st != nil {
 				e.st.MsgsDropped.Add(1)
 			}
+			e.tr.Emit(trace.EvChaos, int32(to), 0, -1, -1, trace.ChaosDrop, 0)
 			wire.PutBuf(bp)
 			return nil
 		}
@@ -363,12 +374,14 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 				if e.st != nil {
 					e.st.MsgsDropped.Add(1)
 				}
+				e.tr.Emit(trace.EvChaos, int32(to), 0, -1, -1, trace.ChaosDrop, 0)
 				wire.PutBuf(bp)
 				return nil
 			}
 			if fp.SpikeProb > 0 && probDraw(&pair.rng) < fp.SpikeProb {
 				delay += fp.Spike
 				e.net.faults.Spikes.Add(1)
+				e.tr.Emit(trace.EvChaos, int32(to), 0, -1, -1, trace.ChaosSpike, fp.Spike)
 			}
 			if fp.DupProb > 0 && probDraw(&pair.rng) < fp.DupProb {
 				duplicate = true
@@ -398,6 +411,7 @@ func (e *Endpoint) Send(m *wire.Msg) error {
 		if e.st != nil {
 			e.st.MsgsDuplicated.Add(1)
 		}
+		e.tr.Emit(trace.EvChaos, int32(to), 0, -1, -1, trace.ChaosDup, 0)
 		e.net.queues[to].push(at, *dupBp, dupBp, false)
 	}
 	return nil

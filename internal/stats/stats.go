@@ -8,6 +8,7 @@ package stats
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -15,6 +16,11 @@ import (
 
 // Node holds the event counters for one DSM node. The zero value is
 // ready to use. All fields may be updated concurrently.
+//
+// Every atomic.Int64 field must have a same-named int64 field in
+// Snapshot (with a `stats` name tag); Snapshot/Add/Fields are driven
+// by one reflection-built plan, checked at init, so adding a counter
+// means adding exactly two struct fields.
 type Node struct {
 	// Shared-memory access counts (successful, after any fault).
 	Reads  atomic.Int64
@@ -63,107 +69,152 @@ type Node struct {
 	LockWaitNs    atomic.Int64
 	BarrierWaits  atomic.Int64
 	BarrierWaitNs atomic.Int64
+
+	// Lat holds the latency histograms, non-nil only when event
+	// tracing is enabled (core.Config.EventTrace). It is not a
+	// counter: snapshots carry it as Snapshot.Lat, outside the field
+	// plan.
+	Lat *LatHists
 }
 
 // Snapshot is a plain-value copy of a Node's counters, safe to
-// aggregate and compare.
+// aggregate and compare. Field names match Node's counters 1:1; the
+// `stats` tag is the report name.
 type Snapshot struct {
-	Reads, Writes                            int64
-	ReadFaults, WriteFaults                  int64
-	MsgsSent, BytesSent, MsgsRecv, BytesRecv int64
-	MsgsDropped, MsgsDuplicated              int64
-	Retries, DupRequests, CachedReplies      int64
-	LateReplies, StrayReplies                int64
-	BatchedMsgs, FlushedBatches, DiffPushes  int64
-	Invalidations, Forwards, PageTransfers   int64
-	UpdatesApplied, TwinCopies               int64
-	DiffsCreated, DiffBytes, DiffFetches     int64
-	WriteNotices, DirectReads, DirectWrites  int64
-	GrantPayloadBytes                        int64
-	LockAcquires, LockWaitNs                 int64
-	BarrierWaits, BarrierWaitNs              int64
+	Reads             int64 `stats:"reads"`
+	Writes            int64 `stats:"writes"`
+	ReadFaults        int64 `stats:"read_faults"`
+	WriteFaults       int64 `stats:"write_faults"`
+	MsgsSent          int64 `stats:"msgs_sent"`
+	BytesSent         int64 `stats:"bytes_sent"`
+	MsgsRecv          int64 `stats:"msgs_recv"`
+	BytesRecv         int64 `stats:"bytes_recv"`
+	MsgsDropped       int64 `stats:"msgs_dropped"`
+	MsgsDuplicated    int64 `stats:"msgs_duplicated"`
+	Retries           int64 `stats:"retries"`
+	DupRequests       int64 `stats:"dup_requests"`
+	CachedReplies     int64 `stats:"cached_replies"`
+	LateReplies       int64 `stats:"late_replies"`
+	StrayReplies      int64 `stats:"stray_replies"`
+	BatchedMsgs       int64 `stats:"batched_msgs"`
+	FlushedBatches    int64 `stats:"flushed_batches"`
+	DiffPushes        int64 `stats:"diff_pushes"`
+	Invalidations     int64 `stats:"invalidations"`
+	Forwards          int64 `stats:"forwards"`
+	PageTransfers     int64 `stats:"page_transfers"`
+	UpdatesApplied    int64 `stats:"updates_applied"`
+	TwinCopies        int64 `stats:"twins"`
+	DiffsCreated      int64 `stats:"diffs"`
+	DiffBytes         int64 `stats:"diff_bytes"`
+	DiffFetches       int64 `stats:"diff_fetches"`
+	WriteNotices      int64 `stats:"write_notices"`
+	DirectReads       int64 `stats:"direct_reads"`
+	DirectWrites      int64 `stats:"direct_writes"`
+	GrantPayloadBytes int64 `stats:"grant_payload_bytes"`
+	LockAcquires      int64 `stats:"lock_acquires"`
+	LockWaitNs        int64 `stats:"lock_wait_ns"`
+	BarrierWaits      int64 `stats:"barrier_waits"`
+	BarrierWaitNs     int64 `stats:"barrier_wait_ns"`
+
+	// Lat carries the latency histograms when tracing was enabled on
+	// the source node; nil otherwise.
+	Lat *LatSnapshot
+}
+
+// fieldInfo is one counter's position in both structs plus its report
+// name — the single source of truth for Snapshot, Add, and Fields.
+type fieldInfo struct {
+	name    string
+	nodeIdx int // field index in Node (an atomic.Int64)
+	snapIdx int // field index in Snapshot (an int64)
+}
+
+// fieldPlan is built once at init and panics on any drift between
+// Node and Snapshot, so a counter added to one struct but not the
+// other fails the first test run rather than silently vanishing from
+// reports.
+var fieldPlan = buildFieldPlan()
+
+func buildFieldPlan() []fieldInfo {
+	nodeT := reflect.TypeOf(Node{})
+	snapT := reflect.TypeOf(Snapshot{})
+	atomicT := reflect.TypeOf(atomic.Int64{})
+	nodeIdx := make(map[string]int)
+	for i := 0; i < nodeT.NumField(); i++ {
+		if f := nodeT.Field(i); f.Type == atomicT {
+			nodeIdx[f.Name] = i
+		}
+	}
+	var plan []fieldInfo
+	for i := 0; i < snapT.NumField(); i++ {
+		f := snapT.Field(i)
+		if f.Type.Kind() != reflect.Int64 {
+			continue
+		}
+		name := f.Tag.Get("stats")
+		if name == "" {
+			panic(fmt.Sprintf("stats: Snapshot.%s lacks a `stats` name tag", f.Name))
+		}
+		ni, ok := nodeIdx[f.Name]
+		if !ok {
+			panic(fmt.Sprintf("stats: Snapshot.%s has no matching atomic counter in Node", f.Name))
+		}
+		delete(nodeIdx, f.Name)
+		plan = append(plan, fieldInfo{name: name, nodeIdx: ni, snapIdx: i})
+	}
+	if len(nodeIdx) != 0 {
+		var missing []string
+		for name := range nodeIdx {
+			missing = append(missing, name)
+		}
+		sort.Strings(missing)
+		panic(fmt.Sprintf("stats: Node counters missing from Snapshot: %v", missing))
+	}
+	return plan
 }
 
 // Snapshot returns a consistent-enough point-in-time copy of the
 // counters. Individual fields are read atomically; the set of fields
 // is not a single atomic snapshot, which is fine for reporting.
 func (n *Node) Snapshot() Snapshot {
-	return Snapshot{
-		Reads:             n.Reads.Load(),
-		Writes:            n.Writes.Load(),
-		ReadFaults:        n.ReadFaults.Load(),
-		WriteFaults:       n.WriteFaults.Load(),
-		MsgsSent:          n.MsgsSent.Load(),
-		BytesSent:         n.BytesSent.Load(),
-		MsgsRecv:          n.MsgsRecv.Load(),
-		BytesRecv:         n.BytesRecv.Load(),
-		MsgsDropped:       n.MsgsDropped.Load(),
-		MsgsDuplicated:    n.MsgsDuplicated.Load(),
-		Retries:           n.Retries.Load(),
-		DupRequests:       n.DupRequests.Load(),
-		CachedReplies:     n.CachedReplies.Load(),
-		LateReplies:       n.LateReplies.Load(),
-		StrayReplies:      n.StrayReplies.Load(),
-		BatchedMsgs:       n.BatchedMsgs.Load(),
-		FlushedBatches:    n.FlushedBatches.Load(),
-		DiffPushes:        n.DiffPushes.Load(),
-		Invalidations:     n.Invalidations.Load(),
-		Forwards:          n.Forwards.Load(),
-		PageTransfers:     n.PageTransfers.Load(),
-		UpdatesApplied:    n.UpdatesApplied.Load(),
-		TwinCopies:        n.TwinCopies.Load(),
-		DiffsCreated:      n.DiffsCreated.Load(),
-		DiffBytes:         n.DiffBytes.Load(),
-		DiffFetches:       n.DiffFetches.Load(),
-		WriteNotices:      n.WriteNotices.Load(),
-		DirectReads:       n.DirectReads.Load(),
-		DirectWrites:      n.DirectWrites.Load(),
-		GrantPayloadBytes: n.GrantPayloadBytes.Load(),
-		LockAcquires:      n.LockAcquires.Load(),
-		LockWaitNs:        n.LockWaitNs.Load(),
-		BarrierWaits:      n.BarrierWaits.Load(),
-		BarrierWaitNs:     n.BarrierWaitNs.Load(),
+	var s Snapshot
+	nv := reflect.ValueOf(n).Elem()
+	sv := reflect.ValueOf(&s).Elem()
+	for _, f := range fieldPlan {
+		v := nv.Field(f.nodeIdx).Addr().Interface().(*atomic.Int64).Load()
+		sv.Field(f.snapIdx).SetInt(v)
 	}
+	if n.Lat != nil {
+		ls := n.Lat.Snapshot()
+		s.Lat = &ls
+	}
+	return s
 }
 
-// Add returns the field-wise sum of two snapshots.
+// Add returns the field-wise sum of two snapshots. Latency histograms
+// aggregate bucket-wise when either side carries them.
 func (s Snapshot) Add(o Snapshot) Snapshot {
-	return Snapshot{
-		Reads:             s.Reads + o.Reads,
-		Writes:            s.Writes + o.Writes,
-		ReadFaults:        s.ReadFaults + o.ReadFaults,
-		WriteFaults:       s.WriteFaults + o.WriteFaults,
-		MsgsSent:          s.MsgsSent + o.MsgsSent,
-		BytesSent:         s.BytesSent + o.BytesSent,
-		MsgsRecv:          s.MsgsRecv + o.MsgsRecv,
-		BytesRecv:         s.BytesRecv + o.BytesRecv,
-		MsgsDropped:       s.MsgsDropped + o.MsgsDropped,
-		MsgsDuplicated:    s.MsgsDuplicated + o.MsgsDuplicated,
-		Retries:           s.Retries + o.Retries,
-		DupRequests:       s.DupRequests + o.DupRequests,
-		CachedReplies:     s.CachedReplies + o.CachedReplies,
-		LateReplies:       s.LateReplies + o.LateReplies,
-		StrayReplies:      s.StrayReplies + o.StrayReplies,
-		BatchedMsgs:       s.BatchedMsgs + o.BatchedMsgs,
-		FlushedBatches:    s.FlushedBatches + o.FlushedBatches,
-		DiffPushes:        s.DiffPushes + o.DiffPushes,
-		Invalidations:     s.Invalidations + o.Invalidations,
-		Forwards:          s.Forwards + o.Forwards,
-		PageTransfers:     s.PageTransfers + o.PageTransfers,
-		UpdatesApplied:    s.UpdatesApplied + o.UpdatesApplied,
-		TwinCopies:        s.TwinCopies + o.TwinCopies,
-		DiffsCreated:      s.DiffsCreated + o.DiffsCreated,
-		DiffBytes:         s.DiffBytes + o.DiffBytes,
-		DiffFetches:       s.DiffFetches + o.DiffFetches,
-		WriteNotices:      s.WriteNotices + o.WriteNotices,
-		DirectReads:       s.DirectReads + o.DirectReads,
-		DirectWrites:      s.DirectWrites + o.DirectWrites,
-		GrantPayloadBytes: s.GrantPayloadBytes + o.GrantPayloadBytes,
-		LockAcquires:      s.LockAcquires + o.LockAcquires,
-		LockWaitNs:        s.LockWaitNs + o.LockWaitNs,
-		BarrierWaits:      s.BarrierWaits + o.BarrierWaits,
-		BarrierWaitNs:     s.BarrierWaitNs + o.BarrierWaitNs,
+	out := s
+	ov := reflect.ValueOf(&o).Elem()
+	outv := reflect.ValueOf(&out).Elem()
+	for _, f := range fieldPlan {
+		fv := outv.Field(f.snapIdx)
+		fv.SetInt(fv.Int() + ov.Field(f.snapIdx).Int())
 	}
+	switch {
+	case s.Lat == nil && o.Lat == nil:
+		out.Lat = nil
+	default:
+		var m LatSnapshot
+		if s.Lat != nil {
+			m = *s.Lat
+		}
+		if o.Lat != nil {
+			m = m.Add(*o.Lat)
+		}
+		out.Lat = &m
+	}
+	return out
 }
 
 // Sum aggregates a slice of snapshots.
@@ -180,44 +231,14 @@ func (s Snapshot) Faults() int64 { return s.ReadFaults + s.WriteFaults }
 
 // Fields returns the snapshot as ordered (name, value) pairs, used by
 // the reporting tools so a new counter automatically appears in every
-// report.
+// report. The order is Snapshot's declaration order.
 func (s Snapshot) Fields() []Field {
-	return []Field{
-		{"reads", s.Reads},
-		{"writes", s.Writes},
-		{"read_faults", s.ReadFaults},
-		{"write_faults", s.WriteFaults},
-		{"msgs_sent", s.MsgsSent},
-		{"bytes_sent", s.BytesSent},
-		{"msgs_recv", s.MsgsRecv},
-		{"bytes_recv", s.BytesRecv},
-		{"msgs_dropped", s.MsgsDropped},
-		{"msgs_duplicated", s.MsgsDuplicated},
-		{"retries", s.Retries},
-		{"dup_requests", s.DupRequests},
-		{"cached_replies", s.CachedReplies},
-		{"late_replies", s.LateReplies},
-		{"stray_replies", s.StrayReplies},
-		{"batched_msgs", s.BatchedMsgs},
-		{"flushed_batches", s.FlushedBatches},
-		{"diff_pushes", s.DiffPushes},
-		{"invalidations", s.Invalidations},
-		{"forwards", s.Forwards},
-		{"page_transfers", s.PageTransfers},
-		{"updates_applied", s.UpdatesApplied},
-		{"twins", s.TwinCopies},
-		{"diffs", s.DiffsCreated},
-		{"diff_bytes", s.DiffBytes},
-		{"diff_fetches", s.DiffFetches},
-		{"write_notices", s.WriteNotices},
-		{"direct_reads", s.DirectReads},
-		{"direct_writes", s.DirectWrites},
-		{"grant_payload_bytes", s.GrantPayloadBytes},
-		{"lock_acquires", s.LockAcquires},
-		{"lock_wait_ns", s.LockWaitNs},
-		{"barrier_waits", s.BarrierWaits},
-		{"barrier_wait_ns", s.BarrierWaitNs},
+	sv := reflect.ValueOf(&s).Elem()
+	out := make([]Field, len(fieldPlan))
+	for i, f := range fieldPlan {
+		out[i] = Field{Name: f.name, Value: sv.Field(f.snapIdx).Int()}
 	}
+	return out
 }
 
 // Field is one named counter value.
@@ -341,17 +362,27 @@ func isNumeric(s string) bool {
 }
 
 // PerNodeReport renders one row per node plus a totals row for the
-// given snapshots, omitting columns that are zero everywhere.
+// given snapshots, omitting columns that are zero on every node. A
+// column where positive and negative node values cancel to a zero
+// total is kept — any individually non-zero node keeps it visible.
+// When any snapshot carries latency histograms, their quantile table
+// is appended.
 func PerNodeReport(snaps []Snapshot) string {
 	if len(snaps) == 0 {
 		return "(no nodes)\n"
 	}
 	total := Sum(snaps)
 	keep := make(map[string]bool)
+	for _, s := range snaps {
+		for _, f := range s.Fields() {
+			if f.Value != 0 {
+				keep[f.Name] = true
+			}
+		}
+	}
 	var order []string
 	for _, f := range total.Fields() {
-		if f.Value != 0 {
-			keep[f.Name] = true
+		if keep[f.Name] {
 			order = append(order, f.Name)
 		}
 	}
@@ -373,7 +404,11 @@ func PerNodeReport(snaps []Snapshot) string {
 		rowFor(fmt.Sprint(i), s)
 	}
 	rowFor("total", total)
-	return t.String()
+	out := t.String()
+	if lat := latReport(snaps); lat != "" {
+		out += "\n" + lat
+	}
+	return out
 }
 
 // sortStable keeps the Fields declaration order (already meaningful)

@@ -1,8 +1,10 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -71,6 +73,47 @@ func TestFieldsCoverEveryCounter(t *testing.T) {
 	}
 }
 
+// TestEveryNodeCounterReachesFields drives each atomic counter in Node
+// to a distinct value via reflection and asserts Fields() surfaces
+// every one of them under a unique name — the guarantee that a newly
+// added counter can never silently vanish from reports. Unlike
+// TestFieldsCoverEveryCounter above, this test needs no editing when a
+// counter is added.
+func TestEveryNodeCounterReachesFields(t *testing.T) {
+	var n Node
+	nv := reflect.ValueOf(&n).Elem()
+	atomicT := reflect.TypeOf(atomic.Int64{})
+	want := make(map[int64]string) // distinct value -> Node field name
+	next := int64(1)
+	for i := 0; i < nv.NumField(); i++ {
+		f := nv.Type().Field(i)
+		if f.Type != atomicT {
+			continue
+		}
+		nv.Field(i).Addr().Interface().(*atomic.Int64).Store(next)
+		want[next] = f.Name
+		next++
+	}
+	fields := n.Snapshot().Fields()
+	if len(fields) != len(want) {
+		t.Fatalf("Fields() has %d entries, Node has %d atomic counters", len(fields), len(want))
+	}
+	seen := make(map[string]bool)
+	for _, f := range fields {
+		if seen[f.Name] {
+			t.Fatalf("duplicate field name %q", f.Name)
+		}
+		seen[f.Name] = true
+		if _, ok := want[f.Value]; !ok {
+			t.Fatalf("field %s carries value %d, not one of the stored sentinels", f.Name, f.Value)
+		}
+		delete(want, f.Value)
+	}
+	for v, name := range want {
+		t.Errorf("Node.%s (sentinel %d) never appeared in Fields()", name, v)
+	}
+}
+
 func TestSnapshotString(t *testing.T) {
 	s := Snapshot{Reads: 5, DiffBytes: 7}
 	str := s.String()
@@ -119,6 +162,37 @@ func TestPerNodeReport(t *testing.T) {
 	}
 	if PerNodeReport(nil) != "(no nodes)\n" {
 		t.Fatal("empty report wrong")
+	}
+}
+
+// TestPerNodeReportKeepsCancellingColumns: a column whose per-node
+// values sum to zero (one node +5, another −5) used to be dropped
+// because the keep test only looked at the totals row. Any node with a
+// non-zero value must keep the column visible.
+func TestPerNodeReportKeepsCancellingColumns(t *testing.T) {
+	a := Snapshot{Reads: 1, Retries: 5}
+	b := Snapshot{Reads: 1, Retries: -5}
+	out := PerNodeReport([]Snapshot{a, b})
+	if !strings.Contains(out, "retries") {
+		t.Fatalf("column cancelling to zero total was dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "-5") {
+		t.Fatalf("negative node value not rendered:\n%s", out)
+	}
+}
+
+// TestPerNodeReportAppendsLatencies: snapshots carrying histograms get
+// the quantile table appended after the counter table.
+func TestPerNodeReportAppendsLatencies(t *testing.T) {
+	var h LatHists
+	h.Fault.Observe(1000)
+	h.RPC.Observe(2000)
+	ls := h.Snapshot()
+	out := PerNodeReport([]Snapshot{{Reads: 1, Lat: &ls}})
+	for _, want := range []string{"latency", "fault", "rpc", "p99_us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("latency report missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// The disabled-tracing hot path must cost zero allocations: these
+// gates run under `make bench-alloc` alongside the wire/mem ones.
+
+func TestZeroAllocDisabledEmit(t *testing.T) {
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvSend, 1, 42, 3, -1, 0, 0)
+	}); n != 0 {
+		t.Fatalf("nil-tracer Emit allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocEnabledEmit(t *testing.T) {
+	tr := New(0, 4, 1024)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvSend, 1, 42, 3, -1, 0, 0)
+	}); n != 0 {
+		t.Fatalf("enabled Emit allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestZeroAllocHistObserve(t *testing.T) {
+	var h stats.Hist
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(12345)
+	}); n != 0 {
+		t.Fatalf("Hist.Observe allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestZeroAllocDisabledGuard exercises the exact shape the
+// instrumented call sites use when tracing is off: a nil Lat check
+// and a nil tracer Emit around a timed section.
+func TestZeroAllocDisabledGuard(t *testing.T) {
+	var lat *stats.LatHists
+	var tr *Tracer
+	if n := testing.AllocsPerRun(1000, func() {
+		var start time.Time
+		if lat != nil || tr != nil {
+			start = time.Now()
+		}
+		if !start.IsZero() {
+			lat.Fault.Observe(time.Since(start).Nanoseconds())
+		}
+	}); n != 0 {
+		t.Fatalf("disabled instrumentation guard allocates %.1f/op, want 0", n)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvSend, 1, uint64(i), 3, -1, 0, 0)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := New(0, 4, 1<<14)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvSend, 1, uint64(i), 3, -1, 0, 0)
+	}
+}
+
+func BenchmarkHistObserve(b *testing.B) {
+	var h stats.Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*7 + 1)
+	}
+}
