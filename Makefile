@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke experiments examples fmt vet clean
+.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke race-smoke experiments examples fmt vet clean
 
 all: build test
 
@@ -12,8 +12,9 @@ build:
 # Default test gate: vet, the full suite, the chaos/reliability and
 # transport packages again under the race detector (their concurrency
 # is the newest and the most delicate), the allocation-regression
-# gate, the multi-process TCP smoke run, and the tracing smoke run.
-test: vet tcp-smoke trace-smoke bench-alloc
+# gate, the multi-process TCP smoke run, the tracing smoke run, and
+# the race-checker smoke run.
+test: vet tcp-smoke trace-smoke race-smoke bench-alloc
 	$(GO) test ./... -timeout 1200s
 	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster ./internal/trace
 
@@ -26,7 +27,7 @@ test: vet tcp-smoke trace-smoke bench-alloc
 # paths that clone by design (receive-side decode).
 bench-alloc:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/
-	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|HistObserve' \
+	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|AccessEmit|HistObserve' \
 		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/
 
 short:
@@ -56,6 +57,16 @@ tcp-smoke:
 # (observation-only), and chaos injections land in the stream.
 trace-smoke:
 	$(GO) test -run 'TestTraceSmoke|TestTracingIsObservationOnly|TestTraceChaos' -count=1 ./internal/trace/
+
+# Race-checker acceptance gate: the seeded positives must be flagged
+# (page-granularity races under EC, false sharing under LRC, the
+# BreakCoherence SC violation even under chaos) and a data-race-free
+# kernel must come back clean under a correct SC engine.
+race-smoke:
+	$(GO) run ./cmd/dsmtrace -races -scenario falseshare -proto ec -expect race
+	$(GO) run ./cmd/dsmtrace -races -scenario falseshare -proto lrc -expect sharing
+	$(GO) run ./cmd/dsmtrace -races -scenario sor -proto sc-fixed -expect clean
+	$(GO) run ./cmd/dsmtrace -races -scenario broken -proto sc-fixed -chaos -expect violation
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

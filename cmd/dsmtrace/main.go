@@ -6,11 +6,19 @@
 // receive never prints before its send even when node timestamps
 // disagree.
 //
+// With -races the same trace feeds the race/SC checker
+// (internal/racecheck) instead of the timeline renderer: the run's
+// reads and writes are recorded as access events and checked for data
+// races and sequential-consistency violations.
+//
 //	dsmtrace                 # producer-consumer under sc-fixed
 //	dsmtrace -proto lrc      # same episode under lazy release consistency
 //	dsmtrace -scenario lock  # a contended lock handoff
 //	dsmtrace -scenario event -proto ec  # data delivered by an event firing
 //	dsmtrace -json out.json  # also write a Chrome/Perfetto trace file
+//	dsmtrace -races -scenario falseshare -proto ec   # page-granularity races
+//	dsmtrace -races -scenario broken -chaos          # seeded coherence bug, under faults
+//	dsmtrace -races -fetch host:7070,host:7071       # check a live cluster's /trace endpoints
 package main
 
 import (
@@ -18,16 +26,33 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"repro/internal/apps"
+	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/racecheck"
 	"repro/internal/trace"
 )
 
 func main() {
 	protoName := flag.String("proto", "sc-fixed", "protocol")
-	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event")
+	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event | falseshare | sor | broken")
 	jsonFile := flag.String("json", "", "also write a Chrome trace-event file")
+	races := flag.Bool("races", false, "run the race/SC checker over the episode instead of printing the timeline")
+	expect := flag.String("expect", "", "assert the checker's outcome: clean | race | sharing | violation (exit 1 on mismatch)")
+	fetch := flag.String("fetch", "", "comma-separated /trace debug endpoints to check instead of running a scenario (implies -races)")
+	withChaos := flag.Bool("chaos", false, "run the scenario under the default chaos plan (drops, dups, latency spikes + retries)")
 	flag.Parse()
+
+	if *fetch != "" {
+		streams, err := racecheck.FetchStreams(strings.Split(*fetch, ","))
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(racecheck.Check(streams, racecheck.Options{}), *expect)
+		return
+	}
 
 	var proto core.Protocol
 	found := false
@@ -41,9 +66,9 @@ func main() {
 		log.Fatalf("unknown protocol %q", *protoName)
 	}
 	switch *scenario {
-	case "producer", "lock", "barrier", "event":
+	case "producer", "lock", "barrier", "event", "falseshare", "sor", "broken":
 	default:
-		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event)", *scenario)
+		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event | falseshare | sor | broken)", *scenario)
 	}
 
 	cfg := core.Config{
@@ -51,6 +76,19 @@ func main() {
 		Protocol:   proto,
 		PageSize:   256,
 		EventTrace: true,
+	}
+	if *withChaos {
+		plan := chaos.DefaultPlan(cfg.Nodes, 7)
+		cfg = plan.Config(cfg.Nodes, proto, 7)
+		cfg.PageSize = 256
+		cfg.EventTrace = true
+	}
+	if *races {
+		cfg.AccessTrace = true
+		cfg.TraceCapacity = 1 << 17
+	}
+	if *scenario == "broken" {
+		cfg.BreakCoherence = true
 	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
@@ -158,6 +196,43 @@ func main() {
 			_, err := n.ReadUint64(data)
 			return err
 		})
+	case "falseshare":
+		// Byte-disjoint per-node counters cohabiting pages: DRF at byte
+		// granularity (false sharing only), a true race at page
+		// granularity (EC's unit of consistency). Setup+Run only —
+		// Verify legitimately fails under EC, where barriers carry no
+		// coherence.
+		app := apps.NewFalseShare(8, 4)
+		if err = app.Setup(c); err == nil {
+			err = c.Run(app.Run)
+		}
+	case "sor":
+		err = apps.RunAndVerify(c, apps.NewSOR(24, 16, 4))
+	case "broken":
+		// Single-writer rounds, barrier-separated: coherent under any
+		// correct SC engine. BreakCoherence (set above) skips one
+		// invalidation, so one node keeps serving a stale local copy —
+		// the violation the SC checker must catch.
+		x := c.MustAlloc(8)
+		err = c.Run(func(n *core.Node) error {
+			for r := 0; r < 4; r++ {
+				if n.ID() == 0 {
+					if err := n.WriteUint64(x, uint64(100+r)); err != nil {
+						return err
+					}
+				}
+				if err := n.Barrier(0); err != nil {
+					return err
+				}
+				if _, err := n.ReadUint64(x); err != nil {
+					return err
+				}
+				if err := n.Barrier(1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -166,6 +241,14 @@ func main() {
 	merged := trace.Merge(streams)
 	if err := trace.CheckCausal(merged); err != nil {
 		fmt.Fprintf(os.Stderr, "warning: timeline violates causality: %v\n", err)
+	}
+	if *races {
+		rep := racecheck.Check(streams, racecheck.Options{
+			PageGranularity: proto == core.EC || proto == core.ECDiff,
+			ValueCheck:      !proto.ReleaseConsistent(),
+		})
+		report(rep, *expect)
+		return
 	}
 	if err := trace.WriteTimeline(os.Stdout, merged); err != nil {
 		log.Fatal(err)
@@ -191,4 +274,35 @@ func main() {
 			fmt.Printf("    %-12s n=%-4d p50=%.1fus p99=%.1fus max=%.1fus\n", h.Class, h.Count, h.P50Us, h.P99Us, h.MaxUs)
 		}
 	}
+}
+
+// report prints the checker's findings and exits nonzero when the
+// outcome misses the -expect assertion (or, without one, when the run
+// is not clean).
+func report(rep *racecheck.Report, expect string) {
+	fmt.Print(rep.String())
+	ok := true
+	switch expect {
+	case "":
+		ok = rep.Clean()
+	case "clean":
+		ok = rep.Clean()
+	case "race":
+		ok = rep.RaceCount > 0
+	case "sharing":
+		ok = rep.FalseShareCount > 0
+	case "violation":
+		ok = rep.ViolationCount > 0
+	default:
+		log.Fatalf("unknown -expect %q (valid: clean | race | sharing | violation)", expect)
+	}
+	if expect == "" {
+		expect = "clean"
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "FAIL: expected %s, got %d race(s), %d sharing pair(s), %d violation(s)\n",
+			expect, rep.RaceCount, rep.FalseShareCount, rep.ViolationCount)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: outcome is %s\n", expect)
 }

@@ -80,6 +80,7 @@ func All() []Experiment {
 		{"e11", "Simulator vs real TCP loopback: identical results, measured wire overhead", "transport-independence check", E11Transport},
 		{"e12", "Message batching, diff pushes, and piggybacking", "TreadMarks/Munin communication-aggregation techniques", E12Batching},
 		{"e13", "Latency histograms: where protocol time goes, fault-free and under chaos", "per-phase latency attribution (TreadMarks-style breakdowns)", E13Latency},
+		{"e14", "Trace-powered data-race and SC-violation detection", "vector-clock race detection (Netzer/Miller-style trace analysis)", E14RaceCheck},
 	}
 }
 

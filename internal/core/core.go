@@ -32,6 +32,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/transport"
+	"repro/internal/vclock"
 	"repro/internal/wire"
 )
 
@@ -190,6 +191,18 @@ type Config struct {
 	// power of two; default trace.DefaultCapacity). A full ring
 	// overwrites its oldest events.
 	TraceCapacity int
+	// AccessTrace additionally records every application read/write
+	// chunk as an access event (page, offset range, value hash) — the
+	// input internal/racecheck consumes. Implies EventTrace. Size the
+	// ring (TraceCapacity) for the run; the race checker reports
+	// truncated streams rather than guessing.
+	AccessTrace bool
+
+	// BreakCoherence deliberately skips one invalidation in the SC
+	// write-invalidate engines — a seeded protocol bug, kept only so
+	// the race/SC checker has a known-bad input to catch. Test-only;
+	// rejected in distributed mode, excluded from Digest.
+	BreakCoherence bool
 
 	// Faults injects network faults (drops, duplicates, latency
 	// spikes) per the plan, seeded from Seed. Setting it also enables
@@ -221,6 +234,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.Protocol < 0 || c.Protocol >= numProtocols {
 		return fmt.Errorf("core: unknown protocol %d", c.Protocol)
+	}
+	if c.AccessTrace {
+		c.EventTrace = true
 	}
 	return nil
 }
@@ -278,6 +294,8 @@ type Cluster struct {
 	bindings map[int32][]Range
 
 	adv *advisor.Collector
+
+	runGen uint32 // Run invocations so far, numbering fork/join marks
 
 	closeOnce sync.Once
 }
@@ -367,6 +385,8 @@ func NewDistributedNode(cfg Config, tr transport.Transport, self int) (*Cluster,
 		return nil, fmt.Errorf("core: NewDistributedNode: message tracing is simulator-only")
 	case cfg.Latency != 0 || cfg.PerByte != 0 || cfg.RecvOccupancy != 0 || cfg.Jitter != 0:
 		return nil, fmt.Errorf("core: NewDistributedNode: latency modelling is simulator-only")
+	case cfg.BreakCoherence:
+		return nil, fmt.Errorf("core: NewDistributedNode: BreakCoherence is a test-only simulator knob")
 	}
 	c := &Cluster{
 		cfg:      cfg,
@@ -402,6 +422,9 @@ func (c *Cluster) addNode(i int) error {
 		st.Lat = &stats.LatHists{}
 		tr := trace.New(int32(i), cfg.Nodes, cfg.TraceCapacity)
 		rt.SetTracer(tr)
+		if cfg.AccessTrace {
+			rt.EnableAccessTrace()
+		}
 		if sep, ok := ep.(*simnet.Endpoint); ok {
 			sep.SetTracer(tr) // chaos injections land in the stream too
 		}
@@ -505,6 +528,9 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 	if c.cfg.WatchdogTimeout > 0 {
 		wd = startWatchdog(c, c.cfg.WatchdogTimeout)
 	}
+	gen := c.runGen
+	c.runGen++
+	c.emitMarks(trace.MarkForkRelease, trace.MarkForkAcquire, gen)
 	for _, n := range c.nodes {
 		wg.Add(1)
 		go func(n *Node) {
@@ -519,12 +545,39 @@ func (c *Cluster) Run(fn func(n *Node) error) error {
 		}(n)
 	}
 	wg.Wait()
+	c.emitMarks(trace.MarkJoinRelease, trace.MarkJoinAcquire, gen)
 	if wd != nil {
 		if err := wd.halt(); err != nil {
 			return err
 		}
 	}
 	return first
+}
+
+// emitMarks records a fork or join synchronization point in every
+// local tracer: the caller (Run) sequences all nodes here, so the
+// race checker may join each node's release-mark clock into every
+// node's acquire mark. Two passes — all releases, then all acquires —
+// so every acquire can causally cover every release of its
+// generation. Simulator-mode only: in distributed mode each process
+// sees just its own node and generations are process-local, so a mark
+// edge would assert cross-process ordering that was never
+// communicated.
+func (c *Cluster) emitMarks(release, acquire uint64, gen uint32) {
+	if c.self >= 0 || len(c.tracers) == 0 {
+		return
+	}
+	clocks := make([]vclock.VC, 0, len(c.tracers))
+	for _, t := range c.tracers {
+		t.Emit(trace.EvMark, -1, 0, -1, -1, trace.MarkArg(release, gen), 0)
+		clocks = append(clocks, t.Clock())
+	}
+	for _, t := range c.tracers {
+		for _, vc := range clocks {
+			t.MergeClock(vc)
+		}
+		t.Emit(trace.EvMark, -1, 0, -1, -1, trace.MarkArg(acquire, gen), 0)
+	}
 }
 
 // Partition blocks traffic between nodes a and b (both directions)

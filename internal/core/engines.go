@@ -17,15 +17,15 @@ import (
 func (c *Cluster) buildEngine(rt *nodecore.Runtime, svc *dsync.Service) (nodecore.Engine, dsync.Hooks, error) {
 	switch c.cfg.Protocol {
 	case SCCentral:
-		return sc.New(rt, sc.Config{Locator: sc.Central}), nil, nil
+		return sc.New(rt, sc.Config{Locator: sc.Central, BreakCoherence: c.cfg.BreakCoherence}), nil, nil
 	case SCFixed:
-		return sc.New(rt, sc.Config{Locator: sc.Fixed}), nil, nil
+		return sc.New(rt, sc.Config{Locator: sc.Fixed, BreakCoherence: c.cfg.BreakCoherence}), nil, nil
 	case SCDynamic:
-		return sc.New(rt, sc.Config{Locator: sc.Dynamic}), nil, nil
+		return sc.New(rt, sc.Config{Locator: sc.Dynamic, BreakCoherence: c.cfg.BreakCoherence}), nil, nil
 	case SCBroadcast:
-		return sc.New(rt, sc.Config{Locator: sc.Broadcast}), nil, nil
+		return sc.New(rt, sc.Config{Locator: sc.Broadcast, BreakCoherence: c.cfg.BreakCoherence}), nil, nil
 	case Migrate:
-		return sc.New(rt, sc.Config{Locator: sc.Dynamic, Migrate: true}), nil, nil
+		return sc.New(rt, sc.Config{Locator: sc.Dynamic, Migrate: true, BreakCoherence: c.cfg.BreakCoherence}), nil, nil
 	case CentralServer:
 		return classic.NewServer(rt), nil, nil
 	case FullReplication:

@@ -1,0 +1,74 @@
+package dsync
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// A retransmitted KBarArrive that outlives the dedup table's eviction
+// window reaches handleBarArrive twice. The handler must replace the
+// sender's recorded waiter (answering the latest request id) rather
+// than appending a second one — a duplicate waiter releases the
+// episode one genuine arrival early and double-counts the sender's
+// payload in the merge.
+func TestBarrierDuplicateArrivalDoesNotReleaseEarly(t *testing.T) {
+	f := newFixture(t, 3, Config{}, nil)
+	mgr := f.svcs[0] // barrier 0 is managed by node 0
+
+	arrive := func(from int, req uint64, payload string) {
+		mgr.handleBarArrive(&wire.Msg{
+			Kind: wire.KBarArrive,
+			From: transport.NodeID(from),
+			To:   0,
+			Req:  req,
+			Lock: 0,
+			Data: []byte(payload),
+		})
+	}
+
+	arrive(1, 101, "n1-first")
+	arrive(1, 102, "n1-retransmit") // duplicate arrival from node 1
+	arrive(2, 201, "n2")
+
+	bs := mgr.barState(0)
+	bs.mu.Lock()
+	waiters, payloads := len(bs.waiters), len(bs.payloads)
+	var rec pendGrant
+	var pay string
+	if waiters > 0 {
+		rec = bs.waiters[0]
+		pay = string(bs.payloads[0])
+	}
+	bs.mu.Unlock()
+
+	// Node 0 has not arrived: the episode must still be open, holding
+	// exactly one waiter per distinct sender.
+	if waiters != 2 || payloads != 2 {
+		t.Fatalf("after duplicate arrival: %d waiters, %d payloads; want 2 and 2 (no early release)", waiters, payloads)
+	}
+	if rec.from != 1 || rec.req != 102 {
+		t.Fatalf("node 1's waiter = {from %d, req %d}, want the retransmission {1, 102}", rec.from, rec.req)
+	}
+	if pay != "n1-retransmit" {
+		t.Fatalf("node 1's payload = %q, want the retransmission's", pay)
+	}
+
+	// The final genuine arrival completes the episode and resets state.
+	arrive(0, 1, "n0")
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		bs.mu.Lock()
+		n := len(bs.waiters)
+		bs.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("episode did not release after all three nodes arrived (%d waiters left)", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -260,6 +260,10 @@ func (s *Service) acquire(id int32, mode Mode) error {
 // acknowledged, retried request.
 func (s *Service) Release(id int32) error {
 	s.hooks.OnRelease(id)
+	// After the hooks run (the payload the next grant carries is now
+	// built) and before the wire release: everything emitted before
+	// this point happens-before the next grant of id.
+	s.rt.Tracer().Emit(trace.EvLockRelease, int32(s.managerOf(id)), 0, -1, id, 0, 0)
 	m := &wire.Msg{
 		Kind: wire.KLockRel,
 		To:   s.managerOf(id),

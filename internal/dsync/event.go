@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -44,6 +45,10 @@ func (s *Service) evtState(id int32) *evtState {
 // consistency payload (an acquire).
 func (s *Service) EventWait(id int32) error {
 	start := time.Now()
+	tr := s.rt.Tracer()
+	// Sync-edge events use the hook id (^id, negative) so the race
+	// checker sees events and locks in one keyspace without collision.
+	tr.Emit(trace.EvLockAcquire, int32(s.managerOf(id)), 0, -1, eventHookID(id), uint64(Shared), 0)
 	payload := s.hooks.AcquirePayload(eventHookID(id))
 	reply, err := s.rt.CallT(&wire.Msg{
 		Kind: wire.KEvtWait,
@@ -62,6 +67,7 @@ func (s *Service) EventWait(id int32) error {
 		st.Lat.LockWait.Observe(wait.Nanoseconds())
 	}
 	s.hooks.OnGranted(eventHookID(id), Shared, reply.Data)
+	tr.Emit(trace.EvLockGrant, int32(reply.From), 0, -1, eventHookID(id), uint64(Shared), wait)
 	return nil
 }
 
@@ -73,6 +79,7 @@ func (s *Service) EventWait(id int32) error {
 // the set-once check.
 func (s *Service) EventSet(id int32) error {
 	s.hooks.OnEventSet(eventHookID(id))
+	s.rt.Tracer().Emit(trace.EvLockRelease, int32(s.managerOf(id)), 0, -1, eventHookID(id), 0, 0)
 	m := &wire.Msg{
 		Kind: wire.KEvtSet,
 		To:   s.managerOf(id),

@@ -57,6 +57,13 @@ func (r *Runtime) readChunk(c mem.Chunk, buf []byte) error {
 		}
 	}
 	p.ReadInto(buf[c.Pos:c.Pos+c.Len], c.Off)
+	if r.atrace != nil {
+		// Still under the page lock, so the hash is of the bytes this
+		// read actually returned and the emission is ordered with any
+		// concurrent local write to the same page.
+		b := buf[c.Pos : c.Pos+c.Len]
+		r.atrace.Emit(trace.EvRead, -1, trace.HashBytes(b), c.Page, -1, trace.AccessArg(c.Off, c.Len), 0)
+	}
 	return nil
 }
 
@@ -136,6 +143,10 @@ func (r *Runtime) writeChunk(c mem.Chunk, buf []byte) error {
 		}
 	}
 	p.WriteFrom(buf[c.Pos:c.Pos+c.Len], c.Off)
+	if r.atrace != nil {
+		b := buf[c.Pos : c.Pos+c.Len]
+		r.atrace.Emit(trace.EvWrite, -1, trace.HashBytes(b), c.Page, -1, trace.AccessArg(c.Off, c.Len), 0)
+	}
 	return nil
 }
 

@@ -106,6 +106,13 @@ type Runtime struct {
 	// predictable branch and zero allocations.
 	tracer *trace.Tracer
 
+	// atrace, when non-nil (EnableAccessTrace), additionally records
+	// every application read/write chunk as an EvRead/EvWrite event —
+	// the input the race checker needs. Kept as a separate field so
+	// event tracing without access tracing pays nothing on the
+	// ReadAt/WriteAt hot path.
+	atrace *trace.Tracer
+
 	dispatched atomic.Int64 // messages processed by the dispatch loop
 }
 
@@ -231,6 +238,10 @@ func (r *Runtime) SetTracer(t *trace.Tracer) { r.tracer = t }
 
 // Tracer returns the attached tracer (nil when tracing is disabled).
 func (r *Runtime) Tracer() *trace.Tracer { return r.tracer }
+
+// EnableAccessTrace turns on per-access EvRead/EvWrite emission into
+// the attached tracer. Must be called after SetTracer, before Start.
+func (r *Runtime) EnableAccessTrace() { r.atrace = r.tracer }
 
 // emitMsg records an RPC event for m. Callers guard r.tracer != nil.
 func (r *Runtime) emitMsg(typ trace.Type, peer int32, m *wire.Msg) {

@@ -27,6 +27,7 @@ package sc
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dsync"
@@ -87,6 +88,12 @@ type Config struct {
 	Migrate bool
 	// CentralNode overrides the manager for Locator Central.
 	CentralNode transport.NodeID
+	// BreakCoherence makes the engine skip exactly one invalidation
+	// (the first copyholder of the first multi-target invalidation
+	// round), leaving one node with a stale readable copy. A seeded
+	// protocol bug for exercising the race/SC checker; never set
+	// outside tests.
+	BreakCoherence bool
 }
 
 // Engine is the per-node protocol instance.
@@ -95,6 +102,8 @@ type Engine struct {
 	rt  *nodecore.Runtime
 	cfg Config
 	tx  *nodecore.TxLocks
+
+	broke atomic.Bool // BreakCoherence already spent its one skip
 }
 
 // New creates the engine for one node.
@@ -375,6 +384,11 @@ func (e *Engine) managerTx(m *wire.Msg, write bool) {
 // acknowledgements. newOwner rides along so copy holders can update
 // their owner hints (dynamic locator semantics, harmless elsewhere).
 func (e *Engine) invalidateAll(pg mem.PageID, nodes []int, newOwner transport.NodeID) {
+	if e.cfg.BreakCoherence && len(nodes) > 0 && e.broke.CompareAndSwap(false, true) {
+		// The seeded bug: silently skip one copyholder, leaving it
+		// readable with stale contents.
+		nodes = nodes[1:]
+	}
 	if len(nodes) == 0 {
 		return
 	}

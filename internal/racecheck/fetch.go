@@ -1,0 +1,49 @@
+package racecheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// FetchStreams pulls trace streams from running nodes' debug
+// endpoints (trace.ServeDebug), one URL per node. A bare host:port or
+// URL without a /trace path is completed automatically, so both
+// "http://host:7070" and "http://host:7070/trace" work. This is the
+// online mode of dsmtrace -races: point it at a live cluster's
+// -debug-addr listeners and check the rings as they stand.
+func FetchStreams(urls []string) ([]trace.Stream, error) {
+	out := make([]trace.Stream, 0, len(urls))
+	for _, raw := range urls {
+		if !strings.Contains(raw, "://") {
+			raw = "http://" + raw
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("racecheck: bad endpoint %q: %w", raw, err)
+		}
+		if u.Path == "" || u.Path == "/" {
+			u.Path = "/trace"
+		}
+		resp, err := http.Get(u.String())
+		if err != nil {
+			return nil, fmt.Errorf("racecheck: fetch %s: %w", u, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("racecheck: fetch %s: HTTP %d", u, resp.StatusCode)
+		}
+		var s trace.Stream
+		derr := json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if derr != nil {
+			return nil, fmt.Errorf("racecheck: decode %s: %w", u, derr)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,603 @@
+// Package racecheck is the trace-powered bug detector: it consumes
+// the per-node event streams the causal tracer records (with access
+// tracing on, core.Config.AccessTrace) and flags
+//
+//   - data races: conflicting accesses to the same page from
+//     different nodes with no synchronization edge between them in the
+//     reconstructed happens-before order, and
+//
+//   - sequential-consistency violations: reads whose observed value
+//     cannot be explained by any write admissible under a single total
+//     order of the traced accesses (a lightweight
+//     linearizability-style check over page contents).
+//
+// Two happens-before relations are maintained during one replay of
+// the causally merged timeline. The sync relation contains only
+// program order and explicit synchronization edges — lock
+// release→grant, barrier arrive→release within an episode, event
+// set→wait-return, and the fork/join marks Cluster.Run emits — and is
+// what the race pass uses: two conflicting accesses unordered by sync
+// edges are a race even if protocol messages (page fetches,
+// invalidations) happen to connect them, exactly as in the
+// Butelle–Coti model where coherence traffic does not synchronize the
+// program. The full relation adds every traced message
+// (send→recv), giving the real causal order the value check needs: a
+// read is only "stale" if a newer write was causally propagated to
+// the reading node and it still saw the old bytes.
+//
+// What "clean" guarantees: no two conflicting accesses in THIS run
+// were concurrent under sync order, and every read in THIS run is
+// explainable. It is a statement about the traced execution, not all
+// executions — a different interleaving may still race, and races on
+// untraced paths (engine-internal page copies, DirectEngine
+// protocols) are invisible.
+package racecheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Options configures a check.
+type Options struct {
+	// PageGranularity promotes byte-disjoint same-page concurrent
+	// conflicts (false sharing) to data races. Set it for protocols
+	// whose consistency unit is the whole page bound to a sync object
+	// (EC, ECDiff): there, disjoint writers to one page genuinely
+	// corrupt each other, because a page install overwrites bytes the
+	// protocol never knew were modified elsewhere.
+	PageGranularity bool
+	// ValueCheck enables the sequential-consistency value check. Only
+	// meaningful for protocols that promise SC (the sc family and the
+	// classic central-server/replicated engines); under release
+	// consistency a read may legitimately return stale bytes until the
+	// next acquire.
+	ValueCheck bool
+	// MaxFindings caps the findings retained per class (default 32);
+	// counts are always exact.
+	MaxFindings int
+}
+
+// Access is one application read or write reconstructed from an
+// EvRead/EvWrite event.
+type Access struct {
+	Node  int32
+	Page  int32
+	Off   int
+	Len   int
+	Write bool
+	Hash  uint64 // FNV-64a of the bytes read/written
+	Seq   int    // index in the merged timeline, for cross-referencing
+
+	sync  vclock.VC // sync-order clock at emission (own component = program position)
+	full  vclock.VC // message-order clock at emission (nil unless ValueCheck)
+	epoch int       // fork/join marks passed on Node before this access
+}
+
+func (a Access) String() string {
+	rw := "read"
+	if a.Write {
+		rw = "write"
+	}
+	return fmt.Sprintf("node %d %s page %d [%d:%d) at event %d", a.Node, rw, a.Page, a.Off, a.Off+a.Len, a.Seq)
+}
+
+// own returns the access's position in its node's program order.
+func (a Access) own() uint32 { return a.sync.At(int(a.Node)) }
+
+// overlaps reports whether the two accesses' byte ranges intersect.
+func (a Access) overlaps(b Access) bool {
+	return a.Page == b.Page && a.Off < b.Off+b.Len && b.Off < a.Off+a.Len
+}
+
+// Race is one pair of conflicting accesses unordered by sync edges.
+// Overlap distinguishes a byte-level data race from same-page false
+// sharing (reported separately unless Options.PageGranularity).
+type Race struct {
+	A, B    Access
+	Overlap bool
+}
+
+func (r Race) String() string {
+	kind := "data race"
+	if !r.Overlap {
+		kind = "false sharing"
+	}
+	return fmt.Sprintf("%s on page %d: %s || %s", kind, r.A.Page, r.A, r.B)
+}
+
+// Violation is one read the SC value check could not explain.
+type Violation struct {
+	Read   Access
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("sc violation: %s: %s", v.Read, v.Detail)
+}
+
+// Report is the outcome of one Check.
+type Report struct {
+	Events   int // merged timeline length
+	Accesses int // EvRead/EvWrite events seen
+
+	Races           []Race // byte-overlapping (or page-granularity) conflicts, capped
+	RaceCount       int    // exact count
+	FalseSharing    []Race // byte-disjoint same-page conflicts, capped
+	FalseShareCount int
+	Violations      []Violation // capped
+	ViolationCount  int
+
+	// Truncated is set when any input stream overflowed its ring
+	// (Stream.Dropped > 0): findings may be incomplete and a missing
+	// write can surface as a spurious violation. Size
+	// core.Config.TraceCapacity for the run instead.
+	Truncated bool
+	Warnings  []string
+}
+
+// Clean reports whether the run passed: no data races and no SC
+// violations. False sharing is informational — byte-disjoint accesses
+// are legal in a data-race-free program — unless PageGranularity
+// promoted it.
+func (r *Report) Clean() bool { return r.RaceCount == 0 && r.ViolationCount == 0 }
+
+// String renders a human-readable summary with up to MaxFindings
+// findings per class.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "racecheck: %d events, %d accesses: %d data race(s), %d false-sharing pair(s), %d sc violation(s)\n",
+		r.Events, r.Accesses, r.RaceCount, r.FalseShareCount, r.ViolationCount)
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "  warning: %s\n", w)
+	}
+	for _, x := range r.Races {
+		fmt.Fprintf(&b, "  %s\n", x)
+	}
+	for _, x := range r.FalseSharing {
+		fmt.Fprintf(&b, "  %s\n", x)
+	}
+	for _, x := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", x)
+	}
+	return b.String()
+}
+
+// Check merges the streams and runs the race pass (and, if enabled,
+// the SC value check) over the reconstructed timeline.
+func Check(streams []trace.Stream, opt Options) *Report {
+	if opt.MaxFindings <= 0 {
+		opt.MaxFindings = 32
+	}
+	rep := &Report{}
+	nvc := 0
+	for i := range streams {
+		if int(streams[i].Node) >= nvc {
+			nvc = int(streams[i].Node) + 1
+		}
+		if streams[i].Dropped > 0 {
+			rep.Truncated = true
+			rep.Warnings = append(rep.Warnings,
+				fmt.Sprintf("node %d dropped %d events (ring overflow): findings may be incomplete", streams[i].Node, streams[i].Dropped))
+		}
+	}
+	merged := trace.Merge(streams)
+	rep.Events = len(merged)
+	c := &checker{nvc: nvc, opt: opt, rep: rep}
+	c.replay(merged)
+	rep.Accesses = len(c.accesses)
+	c.racePass()
+	if opt.ValueCheck {
+		c.valuePass()
+	}
+	return rep
+}
+
+// markPoint is one fork or join synchronization point: the program
+// position of the release and acquire mark on each node. An access at
+// or before rel[n] on node n happens-before every access at or after
+// acq[m] on any node m — marks are cluster-wide barriers, so the edge
+// applies directly without threading through the vector clocks (whose
+// replay-time availability depends on merge order; the thresholds do
+// not).
+type markPoint struct {
+	rel, acq []uint32 // own counters; 0 = mark absent for that node
+}
+
+// covers reports a ≺ b through this mark point.
+func (m *markPoint) covers(a, b *Access) bool {
+	r, q := m.rel[a.Node], m.acq[b.Node]
+	return r != 0 && r >= a.own() && q != 0 && q <= b.own()
+}
+
+type barEp struct {
+	bar int32
+	ep  int
+}
+
+type nodeObj struct {
+	node int32
+	obj  int32
+}
+
+type msgID struct {
+	req  uint64
+	kind uint8
+}
+
+type checker struct {
+	nvc int
+	opt Options
+	rep *Report
+
+	accesses []Access
+	marks    []*markPoint
+}
+
+// replay walks the merged timeline once, maintaining sync and full
+// clocks per node, accumulating sync-object clocks, and snapshotting
+// every access event.
+func (c *checker) replay(merged []trace.MergedEvent) {
+	syncC := make([]vclock.VC, c.nvc)
+	fullC := make([]vclock.VC, c.nvc)
+	epochs := make([]int, c.nvc)
+	for i := range syncC {
+		syncC[i] = vclock.New(c.nvc)
+		fullC[i] = vclock.New(c.nvc)
+	}
+	lockSync := make(map[int32]vclock.VC) // accumulated releaser clocks per lock/event id
+	barClock := make(map[barEp]vclock.VC) // accumulated arrival clocks per barrier episode
+	arrives := make(map[nodeObj]int)      // arrivals so far per (node, barrier): episode index
+	releases := make(map[nodeObj]int)
+	sendFull := make(map[msgID]vclock.VC)
+	markIdx := make(map[uint64]*markPoint) // gen<<1 | {fork,join}
+	warnedEp := false
+
+	for i := range merged {
+		e := &merged[i].Event
+		n := int(e.Node)
+		if n < 0 || n >= c.nvc {
+			continue
+		}
+		syncC[n].Tick(n)
+		fullC[n].Tick(n)
+		switch e.Type {
+		case trace.EvRead, trace.EvWrite:
+			a := Access{
+				Node:  e.Node,
+				Page:  e.Page,
+				Off:   e.AccessOff(),
+				Len:   e.AccessLen(),
+				Write: e.Type == trace.EvWrite,
+				Hash:  e.Req,
+				Seq:   i,
+				sync:  syncC[n].Copy(),
+				epoch: epochs[n],
+			}
+			if c.opt.ValueCheck {
+				a.full = fullC[n].Copy()
+			}
+			c.accesses = append(c.accesses, a)
+		case trace.EvLockGrant:
+			if lv := lockSync[e.Lock]; lv != nil {
+				syncC[n].Merge(lv)
+			}
+		case trace.EvLockRelease:
+			if lv := lockSync[e.Lock]; lv != nil {
+				lv.Merge(syncC[n])
+			} else {
+				lockSync[e.Lock] = syncC[n].Copy()
+			}
+		case trace.EvBarArrive:
+			k := barEp{e.Lock, arrives[nodeObj{e.Node, e.Lock}]}
+			arrives[nodeObj{e.Node, e.Lock}]++
+			if bc := barClock[k]; bc != nil {
+				bc.Merge(syncC[n])
+			} else {
+				barClock[k] = syncC[n].Copy()
+			}
+		case trace.EvBarRelease:
+			k := barEp{e.Lock, releases[nodeObj{e.Node, e.Lock}]}
+			releases[nodeObj{e.Node, e.Lock}]++
+			if bc := barClock[k]; bc != nil {
+				syncC[n].Merge(bc)
+			} else if !warnedEp {
+				warnedEp = true
+				c.rep.Warnings = append(c.rep.Warnings,
+					fmt.Sprintf("barrier %d release at node %d has no recorded arrivals for its episode (truncated stream?)", e.Lock, e.Node))
+			}
+		case trace.EvMark:
+			key := uint64(e.MarkGen()) << 1
+			phase := e.MarkPhase()
+			if phase == trace.MarkJoinRelease || phase == trace.MarkJoinAcquire {
+				key |= 1
+			}
+			m := markIdx[key]
+			if m == nil {
+				m = &markPoint{rel: make([]uint32, c.nvc), acq: make([]uint32, c.nvc)}
+				markIdx[key] = m
+				c.marks = append(c.marks, m)
+			}
+			own := syncC[n].At(n)
+			if phase == trace.MarkForkRelease || phase == trace.MarkJoinRelease {
+				m.rel[n] = own
+			} else {
+				m.acq[n] = own
+			}
+			epochs[n]++
+		case trace.EvSend:
+			if e.Req != 0 {
+				sendFull[msgID{e.Req, e.MsgKind()}] = fullC[n].Copy()
+			}
+		case trace.EvRecv:
+			if e.Req != 0 {
+				if sv := sendFull[msgID{e.Req, e.MsgKind()}]; sv != nil {
+					fullC[n].Merge(sv)
+				}
+			}
+		}
+	}
+}
+
+// ordered reports whether the two accesses are ordered (either
+// direction) by sync edges or a fork/join mark point.
+func (c *checker) ordered(a, b *Access) bool {
+	if b.sync.At(int(a.Node)) >= a.own() || a.sync.At(int(b.Node)) >= b.own() {
+		return true
+	}
+	for _, m := range c.marks {
+		if m.covers(a, b) || m.covers(b, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupKey identifies accesses whose race relation to every other
+// node's accesses is monotone in their program position: same shape,
+// same mark epoch, same foreign sync knowledge. Within a class the
+// latest access is the hardest to order (its own counter is largest
+// while everything the peer could know about it is unchanged), so
+// keeping only that representative preserves race existence exactly
+// while collapsing tight access loops.
+type dedupKey struct {
+	off, len int
+	write    bool
+	epoch    int
+	sig      uint64
+}
+
+// foreignSig hashes a clock's components excluding own — the part of
+// an access's sync knowledge that peers' ordered() tests read.
+func foreignSig(v vclock.VC, own int32) uint64 {
+	const (
+		offset uint64 = 14695981039346656037
+		prime  uint64 = 1099511628211
+	)
+	h := offset
+	for i, x := range v {
+		if int32(i) == own {
+			continue
+		}
+		h = (h ^ uint64(x)) * prime
+		h = (h ^ uint64(i)) * prime
+	}
+	return h
+}
+
+// racePass finds conflicting concurrent access pairs page by page.
+func (c *checker) racePass() {
+	byPage := make(map[int32][]*Access)
+	var pages []int32
+	for i := range c.accesses {
+		a := &c.accesses[i]
+		if _, ok := byPage[a.Page]; !ok {
+			pages = append(pages, a.Page)
+		}
+		byPage[a.Page] = append(byPage[a.Page], a)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		accs := byPage[pg]
+		// Per-node dedup. Merged order preserves per-node program
+		// order, so a later access with the same key overwrites the
+		// earlier representative.
+		perNode := make(map[int32]map[dedupKey]*Access)
+		var nodes []int32
+		var hasWrite bool
+		for _, a := range accs {
+			m := perNode[a.Node]
+			if m == nil {
+				m = make(map[dedupKey]*Access)
+				perNode[a.Node] = m
+				nodes = append(nodes, a.Node)
+			}
+			m[dedupKey{a.Off, a.Len, a.Write, a.epoch, foreignSig(a.sync, a.Node)}] = a
+			hasWrite = hasWrite || a.Write
+		}
+		if len(nodes) < 2 || !hasWrite {
+			continue
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				for _, a := range sortedByKey(perNode[nodes[i]]) {
+					for _, b := range sortedByKey(perNode[nodes[j]]) {
+						if !a.Write && !b.Write {
+							continue
+						}
+						if c.ordered(a, b) {
+							continue
+						}
+						r := Race{A: *a, B: *b, Overlap: a.overlaps(*b)}
+						if r.Overlap || c.opt.PageGranularity {
+							c.rep.RaceCount++
+							if len(c.rep.Races) < c.opt.MaxFindings {
+								c.rep.Races = append(c.rep.Races, r)
+							}
+						} else {
+							c.rep.FalseShareCount++
+							if len(c.rep.FalseSharing) < c.opt.MaxFindings {
+								c.rep.FalseSharing = append(c.rep.FalseSharing, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// sortedByKey returns a node's deduped accesses in program order, for
+// deterministic reports.
+func sortedByKey(m map[dedupKey]*Access) []*Access {
+	out := make([]*Access, 0, len(m))
+	for _, a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// hbFull reports a ≺ b under the full (message-inclusive) order.
+func hbFull(a, b *Access) bool {
+	return b.full.At(int(a.Node)) >= a.full.At(int(a.Node)) && a.Seq != b.Seq
+}
+
+type locKey struct {
+	page     int32
+	off, len int
+}
+
+// valuePass checks that every read's observed value is explainable:
+// some write of those exact bytes (or the initial zero state) is not
+// causally after the read and has no differing write interposed
+// between it and the read under the full order. A read that fails is
+// exactly a staleness witness — a newer value had causally reached
+// the node and it still returned old bytes — or a torn/corrupt value
+// matching no write at all.
+func (c *checker) valuePass() {
+	groups := make(map[locKey][]*Access)
+	var keys []locKey
+	pageWrites := make(map[int32][]locKey) // distinct write ranges per page
+	seenWR := make(map[locKey]bool)
+	for i := range c.accesses {
+		a := &c.accesses[i]
+		k := locKey{a.Page, a.Off, a.Len}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], a)
+		if a.Write && !seenWR[k] {
+			seenWR[k] = true
+			pageWrites[a.Page] = append(pageWrites[a.Page], k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.page != b.page {
+			return a.page < b.page
+		}
+		if a.off != b.off {
+			return a.off < b.off
+		}
+		return a.len < b.len
+	})
+	for _, k := range keys {
+		// Mixed-granularity guard: value-compare a read only when every
+		// write range on its page is byte-identical or byte-disjoint to
+		// it. A bulk setup write overlapping later word-sized reads
+		// would otherwise make hashes incomparable.
+		comparable := true
+		for _, wr := range pageWrites[k.page] {
+			if wr == k {
+				continue
+			}
+			if k.off < wr.off+wr.len && wr.off < k.off+k.len {
+				comparable = false
+				break
+			}
+		}
+		if !comparable {
+			continue
+		}
+		var writes []*Access
+		for _, a := range groups[k] {
+			if a.Write {
+				writes = append(writes, a)
+			}
+		}
+		zero := trace.HashZero(k.len)
+		for _, r := range groups[k] {
+			if r.Write {
+				continue
+			}
+			if c.explained(r, writes, zero) {
+				continue
+			}
+			c.rep.ViolationCount++
+			if len(c.rep.Violations) < c.opt.MaxFindings {
+				c.rep.Violations = append(c.rep.Violations, Violation{Read: *r, Detail: c.detail(r, writes, zero)})
+			}
+		}
+	}
+}
+
+// explained reports whether some write (or the zero state) accounts
+// for read r's value.
+func (c *checker) explained(r *Access, writes []*Access, zero uint64) bool {
+	if r.Hash == zero {
+		// The initial zero state explains r unless a differing write
+		// already causally reached it (in which case an actual
+		// zero-writing write may still explain it, below).
+		fresh := true
+		for _, w := range writes {
+			if w.Hash != r.Hash && hbFull(w, r) {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			return true
+		}
+	}
+	for _, w := range writes {
+		if w.Hash != r.Hash || hbFull(r, w) {
+			continue
+		}
+		interposed := false
+		for _, w2 := range writes {
+			if w2.Hash != r.Hash && hbFull(w, w2) && hbFull(w2, r) {
+				interposed = true
+				break
+			}
+		}
+		if !interposed {
+			return true
+		}
+	}
+	return false
+}
+
+// detail names the most recent differing write causally visible to an
+// unexplained read.
+func (c *checker) detail(r *Access, writes []*Access, zero uint64) string {
+	var newest *Access
+	for _, w := range writes {
+		if w.Hash != r.Hash && hbFull(w, r) && (newest == nil || hbFull(newest, w)) {
+			newest = w
+		}
+	}
+	if newest == nil {
+		if r.Hash == zero {
+			return "zero-state read despite a visible differing write"
+		}
+		return fmt.Sprintf("value hash %x matches no traced write (torn or corrupt data)", r.Hash)
+	}
+	return fmt.Sprintf("read hash %x is stale: %s (hash %x) was already visible to node %d",
+		r.Hash, newest, newest.Hash, r.Node)
+}

@@ -100,10 +100,20 @@ func (s HistSnapshot) MeanNs() int64 {
 }
 
 // Quantile estimates the q-quantile (q in [0, 1]) in nanoseconds by
-// locating the bucket holding the q*Count-th observation and
+// locating the bucket holding the q-th fractional observation and
 // interpolating linearly within it. Returns 0 when empty.
+//
+// The rank is computed against the bucket total, not Count: Observe
+// bumps count before the bucket add, so a snapshot taken concurrently
+// can be torn — Count briefly exceeds the bucket sum — and a rank
+// against Count would walk past every bucket and report MaxNs for all
+// quantiles of an otherwise healthy histogram.
 func (s HistSnapshot) Quantile(q float64) int64 {
-	if s.Count == 0 {
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -112,7 +122,7 @@ func (s HistSnapshot) Quantile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	rank := q * float64(s.Count)
+	rank := q * float64(total)
 	var seen float64
 	for i, c := range s.Buckets {
 		if c == 0 {

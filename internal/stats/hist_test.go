@@ -1,0 +1,43 @@
+package stats
+
+import "testing"
+
+// Observe bumps count before the bucket add, so a concurrent Snapshot
+// can be torn: Count briefly exceeds the bucket sum. Quantile must
+// rank against the bucket total — ranking against Count walks past
+// every bucket and silently reports MaxNs for all quantiles.
+func TestQuantileTornSnapshot(t *testing.T) {
+	var s HistSnapshot
+	s.Count = 5 // two observations counted but not yet bucketed
+	s.MaxNs = 1 << 30
+	s.Buckets[10] = 3 // values in [512, 1024)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := s.Quantile(q); got >= 2048 {
+			t.Fatalf("Quantile(%v) = %d on torn snapshot, want a bucket-10 value (< 2048)", q, got)
+		}
+	}
+}
+
+func TestQuantileEmptyBuckets(t *testing.T) {
+	var s HistSnapshot
+	s.Count = 1 // torn: counted, not yet bucketed
+	s.MaxNs = 99
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on empty buckets = %d, want 0", got)
+	}
+}
+
+func TestQuantileConsistentSnapshot(t *testing.T) {
+	var h Hist
+	for i := 0; i < 1000; i++ {
+		h.Observe(700) // bucket 10
+	}
+	h.Observe(1 << 20) // one outlier
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 < 512 || p50 >= 1024 {
+		t.Fatalf("p50 = %d, want within [512, 1024)", p50)
+	}
+	if p100 := s.Quantile(1); p100 != s.MaxNs && p100 < 1<<20 {
+		t.Fatalf("p100 = %d, want the outlier bucket (or MaxNs clamp)", p100)
+	}
+}

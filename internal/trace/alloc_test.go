@@ -56,6 +56,34 @@ func TestZeroAllocDisabledGuard(t *testing.T) {
 	}
 }
 
+// TestZeroAllocDisabledAccessGuard exercises the exact shape of the
+// access-event emission sites in nodecore's read/write chunk loops
+// when access tracing is off (the default): a nil check must skip the
+// hash and emit entirely.
+func TestZeroAllocDisabledAccessGuard(t *testing.T) {
+	var tr *Tracer
+	buf := make([]byte, 256)
+	if n := testing.AllocsPerRun(1000, func() {
+		if tr != nil {
+			tr.Emit(EvRead, -1, HashBytes(buf[0:64]), 3, -1, AccessArg(0, 64), 0)
+		}
+	}); n != 0 {
+		t.Fatalf("disabled access-trace guard allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestZeroAllocEnabledAccessEmit gates the enabled path: hashing the
+// accessed bytes and emitting the event must both stay on the stack.
+func TestZeroAllocEnabledAccessEmit(t *testing.T) {
+	tr := New(0, 4, 1024)
+	buf := make([]byte, 256)
+	if n := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvRead, -1, HashBytes(buf[8:72]), 3, -1, AccessArg(8, 64), 0)
+	}); n != 0 {
+		t.Fatalf("enabled access emit allocates %.1f/op, want 0", n)
+	}
+}
+
 func BenchmarkEmitDisabled(b *testing.B) {
 	var tr *Tracer
 	b.ReportAllocs()
@@ -77,5 +105,14 @@ func BenchmarkHistObserve(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(int64(i)*7 + 1)
+	}
+}
+
+func BenchmarkAccessEmit(b *testing.B) {
+	tr := New(0, 4, 1<<14)
+	buf := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvRead, -1, HashBytes(buf[0:64]), 3, -1, AccessArg(0, 64), 0)
 	}
 }

@@ -118,6 +118,14 @@ func Merge(streams []Stream) []MergedEvent {
 		c.i++
 		node := int(e.Node)
 		if node < 0 || node >= nvc {
+			// Malformed event: drop it, but if it was counted as an
+			// available send, un-count it — otherwise avail[k] stays
+			// permanently above consumed[k] and every matching recv is
+			// held unready until the malformed-input fallback fires,
+			// scrambling the merge order.
+			if e.Type == EvSend && e.Req != 0 {
+				avail[msgKey{e.Req, e.MsgKind()}]--
+			}
 			continue
 		}
 		vc := clocks[node]
@@ -211,9 +219,11 @@ func Describe(e Event) string {
 		}
 		return s
 	case EvLockAcquire:
-		return fmt.Sprintf("lock %d requested (mode %d)", e.Lock, e.Arg)
+		return fmt.Sprintf("%s requested (mode %d)", syncObj(e.Lock), e.Arg)
 	case EvLockGrant:
-		return fmt.Sprintf("lock %d granted after %s", e.Lock, fmtNs(e.Dur))
+		return fmt.Sprintf("%s granted after %s", syncObj(e.Lock), fmtNs(e.Dur))
+	case EvLockRelease:
+		return fmt.Sprintf("%s released", syncObj(e.Lock))
 	case EvBarArrive:
 		return fmt.Sprintf("barrier %d arrive", e.Lock)
 	case EvBarRelease:
@@ -233,8 +243,33 @@ func Describe(e Event) string {
 			s += fmt.Sprintf(" for %s", fmtNs(e.Dur))
 		}
 		return s
+	case EvRead, EvWrite:
+		rw := "read"
+		if e.Type == EvWrite {
+			rw = "write"
+		}
+		return fmt.Sprintf("%s page %d [%d:%d) hash=%x",
+			rw, e.Page, e.AccessOff(), e.AccessOff()+e.AccessLen(), e.Req)
+	case EvMark:
+		names := map[uint64]string{
+			MarkForkRelease: "fork-release",
+			MarkForkAcquire: "fork-acquire",
+			MarkJoinRelease: "join-release",
+			MarkJoinAcquire: "join-acquire",
+		}
+		return fmt.Sprintf("mark %s gen %d", names[e.MarkPhase()], e.MarkGen())
 	}
 	return e.Type.String()
+}
+
+// syncObj names a sync-event id: lock hooks use non-negative ids,
+// event hooks the ones-complement of the event id (see
+// dsync.eventHookID).
+func syncObj(l int32) string {
+	if l < 0 {
+		return fmt.Sprintf("event %d", ^l)
+	}
+	return fmt.Sprintf("lock %d", l)
 }
 
 func fmtNs(ns int64) string {

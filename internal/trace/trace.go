@@ -67,6 +67,23 @@ const (
 	// EvChaos marks a fault injection observed by this node's
 	// endpoint; Arg is a Chaos* code, Peer the other end (or -1).
 	EvChaos
+	// EvRead marks a completed application read of shared memory.
+	// Page is set, Arg packs offset+length (AccessArg), Req carries
+	// the FNV-64a hash of the bytes read (HashBytes). Only emitted
+	// when access tracing is enabled (core.Config.AccessTrace).
+	EvRead
+	// EvWrite marks a completed application write; fields as EvRead,
+	// with Req hashing the bytes written.
+	EvWrite
+	// EvLockRelease marks a lock (or event-set) release being issued;
+	// Lock is the id. Together with EvLockGrant it forms the
+	// release→grant sync edge the race checker consumes.
+	EvLockRelease
+	// EvMark is a synthetic synchronization mark: Cluster.Run emits a
+	// fork mark on every node before spawning workers and a join mark
+	// after they all return, giving the race checker the program's
+	// fork/join edges. Arg packs phase+generation (MarkArg).
+	EvMark
 	numTypes
 )
 
@@ -85,6 +102,10 @@ var typeNames = [...]string{
 	EvDiffPush:    "diff-push",
 	EvDiffFetch:   "diff-fetch",
 	EvChaos:       "chaos",
+	EvRead:        "read",
+	EvWrite:       "write",
+	EvLockRelease: "lock-release",
+	EvMark:        "mark",
 }
 
 // String names the event type.
@@ -123,6 +144,66 @@ func ChaosName(code uint64) string {
 // MsgArg packs a wire message's kind and attempt counter into an
 // Event.Arg for EvSend/EvRecv/EvRetry events.
 func MsgArg(kind, attempt uint8) uint64 { return uint64(kind) | uint64(attempt)<<8 }
+
+// AccessArg packs a page-relative offset and byte length into an
+// Event.Arg for EvRead/EvWrite events.
+func AccessArg(off, length int) uint64 {
+	return uint64(uint32(off)) | uint64(uint32(length))<<32
+}
+
+// AccessOff extracts the page-relative offset from an access event.
+func (e Event) AccessOff() int { return int(uint32(e.Arg)) }
+
+// AccessLen extracts the byte length from an access event.
+func (e Event) AccessLen() int { return int(uint32(e.Arg >> 32)) }
+
+// EvMark phases carried in the low byte of Event.Arg. Fork release
+// marks are emitted on every node before Cluster.Run spawns workers;
+// each worker's first action is (conceptually) the matching acquire —
+// emitted immediately after on its own node. Join marks mirror this
+// around the workers' return.
+const (
+	MarkForkRelease uint64 = iota + 1
+	MarkForkAcquire
+	MarkJoinRelease
+	MarkJoinAcquire
+)
+
+// MarkArg packs an EvMark phase and Run-generation counter.
+func MarkArg(phase uint64, gen uint32) uint64 { return phase | uint64(gen)<<8 }
+
+// MarkPhase extracts the Mark* phase from an EvMark event.
+func (e Event) MarkPhase() uint64 { return e.Arg & 0xff }
+
+// MarkGen extracts the Run generation from an EvMark event.
+func (e Event) MarkGen() uint32 { return uint32(e.Arg >> 8) }
+
+// FNV-64a constants for value hashing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// HashBytes returns the FNV-64a hash of b, the value stamp carried in
+// EvRead/EvWrite events' Req field. Allocation-free.
+func HashBytes(b []byte) uint64 {
+	h := fnvOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashZero returns HashBytes of n zero bytes without materializing
+// them — the value stamp of never-written memory.
+func HashZero(n int) uint64 {
+	h := fnvOffset
+	for i := 0; i < n; i++ {
+		h *= fnvPrime
+	}
+	return h
+}
 
 // ClockWidth is the number of vector-clock components stored inline
 // in each Event. Clusters wider than this truncate the stored clock
