@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke race-smoke experiments examples fmt vet clean
+.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke race-smoke kv-smoke experiments examples fmt vet clean
 
 all: build test
 
@@ -14,7 +14,7 @@ build:
 # is the newest and the most delicate), the allocation-regression
 # gate, the multi-process TCP smoke run, the tracing smoke run, and
 # the race-checker smoke run.
-test: vet tcp-smoke trace-smoke race-smoke bench-alloc
+test: vet tcp-smoke trace-smoke race-smoke kv-smoke bench-alloc
 	$(GO) test ./... -timeout 1200s
 	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster ./internal/trace
 
@@ -26,9 +26,9 @@ test: vet tcp-smoke trace-smoke race-smoke bench-alloc
 # histogram observe). The benchmarks print current numbers for the
 # paths that clone by design (receive-side decode).
 bench-alloc:
-	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/
-	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|AccessEmit|HistObserve' \
-		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/
+	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/ ./internal/kv/
+	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|AccessEmit|HistObserve|KVOpRecord' \
+		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/ ./internal/kv/
 
 short:
 	$(GO) test ./... -short -timeout 600s
@@ -66,7 +66,16 @@ race-smoke:
 	$(GO) run ./cmd/dsmtrace -races -scenario falseshare -proto ec -expect race
 	$(GO) run ./cmd/dsmtrace -races -scenario falseshare -proto lrc -expect sharing
 	$(GO) run ./cmd/dsmtrace -races -scenario sor -proto sc-fixed -expect clean
+	$(GO) run ./cmd/dsmtrace -races -scenario kvstore -proto lrc -expect clean
 	$(GO) run ./cmd/dsmtrace -races -scenario broken -proto sc-fixed -chaos -expect violation
+
+# Serving-workload acceptance gate: the kvstore regression test runs
+# the same configuration on the simulator and a real TCP loopback
+# cluster and requires bit-identical checksums plus a nonzero op
+# p99 (the SLO pipeline is live on both transports), and the paced
+# open-loop run cannot finish ahead of its schedule.
+kv-smoke:
+	$(GO) test -run 'TestKVSmoke|TestKVOpenLoopPacing' -count=1 ./internal/kv/
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

@@ -6,6 +6,7 @@
 //
 //	dsmrun -app sor -proto lrc -nodes 8 -page 1024
 //	dsmrun -app sor -proto sc-fixed -chaos       # under fault injection
+//	dsmrun -app kvstore -qps 2000 -mix read-heavy -zipf 0.99   # serving workload with SLO report
 //	dsmrun -app sor -trace out.json              # Chrome/Perfetto trace
 //	dsmrun -app sor -stats json                  # machine-readable output
 //	dsmrun -transport tcp -nodes 3 -app sor      # multi-process demo
@@ -33,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/exec"
@@ -45,6 +47,8 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/loadgen"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -92,6 +96,11 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (enables event tracing; tcp nodes write FILE.node<id>)")
 	statsFmt := flag.String("stats", "table", "stats output format: table or json")
 	debugAddr := flag.String("debug-addr", "", "with -transport tcp: serve the HTTP debug endpoint (stats, trace, histograms, pprof) on this address")
+	qps := flag.Float64("qps", 0, "with -app kvstore: per-node open-loop target rate (0 = unpaced closed loop)")
+	mixName := flag.String("mix", "", "with -app kvstore: op profile (read-heavy | write-heavy | mixed)")
+	zipf := flag.Float64("zipf", -1, "with -app kvstore: Zipfian skew theta in (0,1); 0 selects the uniform distribution")
+	keys := flag.Int("keys", 0, "with -app kvstore: key-space size (power of two; 0 = scale default)")
+	ops := flag.Int("ops", 0, "with -app kvstore: per-node operation count (0 = scale default)")
 	list := flag.Bool("list", false, "list workloads and protocols")
 	flag.Parse()
 
@@ -119,6 +128,18 @@ func main() {
 	if !ok {
 		fatal("unknown app %q (try -list)", *appName)
 	}
+	var kvs *kv.Store
+	if *appName == "kvstore" {
+		kvs = kvFromFlags(scale, *seed, *qps, *mixName, *zipf, *keys, *ops)
+		app = kvs
+	} else {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "qps", "mix", "zipf", "keys", "ops":
+				fatal("-%s is only meaningful with -app kvstore", f.Name)
+			}
+		})
+	}
 	proto, ok := protocols()[*protoName]
 	if !ok {
 		fatal("unknown protocol %q (try -list)", *protoName)
@@ -132,7 +153,7 @@ func main() {
 		if *debugAddr != "" {
 			fatal("-debug-addr is for -transport tcp; the simulator exposes everything in-process")
 		}
-		runSim(app, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed, *traceFile, *statsFmt)
+		runSim(app, kvs, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed, *traceFile, *statsFmt)
 	case "tcp":
 		if *chaosOn {
 			fatal("-chaos is simulator-only (a real network brings its own faults)")
@@ -141,13 +162,60 @@ func main() {
 			fatal("-latency/-perbyte model the simulator; the real network has real latency")
 		}
 		if *nodeID >= 0 {
-			runTCPNode(app, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD, *traceFile, *statsFmt, *debugAddr)
+			runTCPNode(app, kvs, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD, *traceFile, *statsFmt, *debugAddr)
 		} else {
 			runTCPDemo(*nodes, *peers)
 		}
 	default:
 		fatal("unknown transport %q (sim or tcp)", *transportName)
 	}
+}
+
+// kvFromFlags builds the kvstore app from the serving flags, starting
+// from the scale's defaults.
+func kvFromFlags(scale apps.Scale, seed int64, qps float64, mixName string, zipf float64, keys, ops int) *kv.Store {
+	base := kv.NewSmall()
+	if scale == apps.Medium {
+		base = kv.NewMedium()
+	}
+	p := base.Params()
+	p.Seed = seed
+	p.QPS = qps
+	if mixName != "" {
+		mix, err := loadgen.MixByName(mixName)
+		if err != nil {
+			fatal("%v", err)
+		}
+		p.Mix = mix
+	}
+	switch {
+	case zipf == 0:
+		p.Dist, p.Theta = loadgen.Uniform, 0
+	case zipf > 0:
+		p.Dist, p.Theta = loadgen.Zipfian, zipf
+	}
+	if keys != 0 {
+		p.Keys = keys
+	}
+	if ops != 0 {
+		p.Ops = ops
+	}
+	return kv.New(p)
+}
+
+// servingReport renders the kvstore per-node open-loop summaries:
+// achieved rate against the target, and the backlog/late-op evidence
+// of whether the node kept up with the schedule.
+func servingReport(w io.Writer, kvs *kv.Store) {
+	reports := kvs.Reports()
+	if len(reports) == 0 {
+		return
+	}
+	t := stats.NewTable("node", "ops", "gets", "puts", "dels", "target_qps", "achieved_qps", "max_backlog", "late_ops")
+	for _, r := range reports {
+		t.AddRow(r.Node, r.Ops, r.Gets, r.Puts, r.Dels, r.TargetQPS, r.AchievedQPS, r.MaxBacklog, r.LateOps)
+	}
+	fmt.Fprintf(w, "\nserving report (open-loop; op latencies incl. queueing delay are the \"op\" histogram class):\n%s", t.String())
 }
 
 // nodeJSON is one node's machine-readable stats entry.
@@ -185,7 +253,7 @@ func nodeEntry(id int, s stats.Snapshot) nodeJSON {
 	return n
 }
 
-func printJSON(app apps.App, proto core.Protocol, nodes, page int, elapsed time.Duration, verdict string, snaps []stats.Snapshot, firstNode int) {
+func printJSON(w io.Writer, app apps.App, proto core.Protocol, nodes, page int, elapsed time.Duration, verdict string, snaps []stats.Snapshot, firstNode int) error {
 	rep := reportJSON{
 		App:       app.Name(),
 		Protocol:  proto.String(),
@@ -198,11 +266,9 @@ func printJSON(app apps.App, proto core.Protocol, nodes, page int, elapsed time.
 	for i, s := range snaps {
 		rep.PerNode = append(rep.PerNode, nodeEntry(firstNode+i, s))
 	}
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fatal("encode stats: %v", err)
-	}
+	return enc.Encode(rep)
 }
 
 // writeChromeFile dumps the streams as a Chrome trace-event file.
@@ -223,17 +289,19 @@ func writeChromeFile(path string, streams []trace.Stream) {
 
 // runSim is the classic mode: the whole cluster in this process over
 // the simulated network.
-func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64, traceFile, statsFmt string) {
+func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64, traceFile, statsFmt string) {
 	cfg := core.Config{
-		Nodes:      nodes,
-		Protocol:   proto,
-		PageSize:   page,
-		HeapBytes:  1 << 22,
-		Latency:    latency,
-		PerByte:    perByte,
-		Advise:     advise,
-		Seed:       seed,
-		EventTrace: traceFile != "",
+		Nodes:     nodes,
+		Protocol:  proto,
+		PageSize:  page,
+		HeapBytes: 1 << 22,
+		Latency:   latency,
+		PerByte:   perByte,
+		Advise:    advise,
+		Seed:      seed,
+		// The serving workload always records op latencies: SLO
+		// quantiles are its whole point.
+		EventTrace: traceFile != "" || kvs != nil,
 	}
 	var plan chaos.Plan
 	if chaosOn {
@@ -272,12 +340,17 @@ func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte
 		writeChromeFile(traceFile, c.TraceStreams())
 	}
 	if statsFmt == "json" {
-		printJSON(app, proto, nodes, page, elapsed, verdict, c.Stats(), 0)
+		if err := printJSON(os.Stdout, app, proto, nodes, page, elapsed, verdict, c.Stats(), 0); err != nil {
+			fatal("encode stats: %v", err)
+		}
 	} else {
 		fmt.Printf("app=%s protocol=%s nodes=%d page=%d elapsed=%v verify=%s\n",
 			app.Name(), proto, nodes, page, elapsed.Round(time.Microsecond), verdict)
 		fmt.Printf("transport=%s %v\n\n", c.TransportName(), c.TransportCounters())
 		fmt.Print(stats.PerNodeReport(c.Stats()))
+		if kvs != nil {
+			servingReport(os.Stdout, kvs)
+		}
 		if chaosOn {
 			fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
 		}
@@ -291,7 +364,7 @@ func runSim(app apps.App, proto core.Protocol, nodes, page int, latency, perByte
 }
 
 // runTCPNode hosts one node of a multi-process cluster.
-func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint, traceFile, statsFmt, debugAddr string) {
+func runTCPNode(app apps.App, kvs *kv.Store, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint, traceFile, statsFmt, debugAddr string) {
 	if peers == "" {
 		fatal("-transport tcp -node %d needs -peers host:port,... for every node", self)
 	}
@@ -313,7 +386,7 @@ func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed i
 		HeapBytes:       1 << 22,
 		Advise:          advise,
 		Seed:            seed,
-		EventTrace:      traceFile != "" || debugAddr != "",
+		EventTrace:      traceFile != "" || debugAddr != "" || kvs != nil,
 		WatchdogTimeout: 30 * time.Second,
 	}
 	start := time.Now()
@@ -336,7 +409,9 @@ func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed i
 		writeChromeFile(fmt.Sprintf("%s.node%d", traceFile, self), []trace.Stream{*res.Trace})
 	}
 	if statsFmt == "json" {
-		printJSON(app, proto, len(addrs), page, res.Elapsed, "ok", []stats.Snapshot{res.Stats}, self)
+		if err := printJSON(os.Stdout, app, proto, len(addrs), page, res.Elapsed, "ok", []stats.Snapshot{res.Stats}, self); err != nil {
+			fatal("encode stats: %v", err)
+		}
 		return
 	}
 	if self == 0 {
@@ -348,6 +423,9 @@ func runTCPNode(app apps.App, proto core.Protocol, page int, advise bool, seed i
 	}
 	fmt.Printf("node %d: transport=tcp %v total=%v\n", self, res.Net, time.Since(start).Round(time.Millisecond))
 	fmt.Print(stats.PerNodeReport([]stats.Snapshot{res.Stats}))
+	if kvs != nil {
+		servingReport(os.Stdout, kvs)
+	}
 }
 
 // prefixWriter labels each child's output lines with its node id so

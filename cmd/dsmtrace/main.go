@@ -31,13 +31,15 @@ import (
 	"repro/internal/apps"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/loadgen"
 	"repro/internal/racecheck"
 	"repro/internal/trace"
 )
 
 func main() {
 	protoName := flag.String("proto", "sc-fixed", "protocol")
-	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event | falseshare | sor | broken")
+	scenario := flag.String("scenario", "producer", "producer | lock | barrier | event | falseshare | sor | kvstore | broken")
 	jsonFile := flag.String("json", "", "also write a Chrome trace-event file")
 	races := flag.Bool("races", false, "run the race/SC checker over the episode instead of printing the timeline")
 	expect := flag.String("expect", "", "assert the checker's outcome: clean | race | sharing | violation (exit 1 on mismatch)")
@@ -66,9 +68,9 @@ func main() {
 		log.Fatalf("unknown protocol %q", *protoName)
 	}
 	switch *scenario {
-	case "producer", "lock", "barrier", "event", "falseshare", "sor", "broken":
+	case "producer", "lock", "barrier", "event", "falseshare", "sor", "kvstore", "broken":
 	default:
-		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event | falseshare | sor | broken)", *scenario)
+		log.Fatalf("unknown scenario %q (valid: producer | lock | barrier | event | falseshare | sor | kvstore | broken)", *scenario)
 	}
 
 	cfg := core.Config{
@@ -208,6 +210,13 @@ func main() {
 		}
 	case "sor":
 		err = apps.RunAndVerify(c, apps.NewSOR(24, 16, 4))
+	case "kvstore":
+		// The serving workload: lock-striped Get/Put/Delete traffic.
+		// Under -races the sweep must come back clean on any protocol
+		// (every slot access sits inside its stripe's critical section).
+		err = apps.RunAndVerify(c, kv.New(kv.Params{
+			Keys: 128, Ops: 120, Dist: loadgen.Zipfian, Theta: 0.9, Mix: loadgen.Mixed, Seed: 11,
+		}))
 	case "broken":
 		// Single-writer rounds, barrier-separated: coherent under any
 		// correct SC engine. BreakCoherence (set above) skips one

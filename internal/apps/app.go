@@ -1,8 +1,9 @@
 // Package apps provides the DSM workload suite used by the
 // correctness matrix and every experiment: the kernels the classic
 // DSM literature evaluates on (SOR, matrix multiply, Gaussian
-// elimination, TSP branch-and-bound, task queues, reductions) plus a
-// false-sharing microkernel. Every app verifies its shared-memory
+// elimination, TSP branch-and-bound, task queues, reductions), a
+// false-sharing microkernel, and the kv serving workload
+// (internal/kv). Every app verifies its shared-memory
 // result against a sequential reference computed locally, which is
 // what lets the integration tests run each app under every protocol
 // and node count.
@@ -12,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/kv"
 )
 
 // App is one DSM workload.
@@ -58,6 +60,7 @@ func All(s Scale) []App {
 			NewTaskQueue(40, 200),
 			NewHistogram(1<<12, 16),
 			NewFalseShare(4, 64),
+			kv.NewSmall(),
 		}
 	default:
 		return []App{
@@ -71,6 +74,7 @@ func All(s Scale) []App {
 			NewTaskQueue(256, 2000),
 			NewHistogram(1<<16, 32),
 			NewFalseShare(32, 256),
+			kv.NewMedium(),
 		}
 	}
 }

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE15Serving is the serving-regression acceptance gate: the full
+// protocol × transport × network matrix must complete with every
+// checksum identical (E15Serving returns an error on any mismatch)
+// and report the SLO columns for every cell.
+func TestE15Serving(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E15 runs TCP loopback clusters and paced open-loop schedules")
+	}
+	var out strings.Builder
+	if err := E15Serving(&out); err != nil {
+		t.Fatalf("E15: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, proto := range []string{"sc-fixed", "erc-invalidate", "lrc", "ec"} {
+		for _, cell := range []string{"sim        fault-free", "tcp        fault-free", "sim        chaos"} {
+			if !strings.Contains(got, proto) || !strings.Contains(got, cell) {
+				t.Fatalf("E15 output missing %s / %s:\n%s", proto, cell, got)
+			}
+		}
+	}
+	for _, col := range []string{"achieved_qps", "op_p50_us", "op_p99_us", "op_p999_us", "proto_msgs", "checksum"} {
+		if !strings.Contains(got, col) {
+			t.Fatalf("E15 output missing column %s:\n%s", col, got)
+		}
+	}
+}

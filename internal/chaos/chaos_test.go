@@ -6,6 +6,8 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/kv"
+	"repro/internal/loadgen"
 )
 
 // TestChaosMatrix runs real workloads under fault injection —
@@ -23,6 +25,12 @@ func TestChaosMatrix(t *testing.T) {
 		func() apps.App { return apps.NewSOR(24, 16, 6) },
 		func() apps.App { return apps.NewMatMul(24) },
 		func() apps.App { return apps.NewTaskQueue(40, 200) },
+		// The serving workload: fine-grained skewed Get/Put/Delete
+		// traffic whose checksum is a pure function of the op streams —
+		// chaos may slow it down, never change its answer.
+		func() apps.App {
+			return kv.New(kv.Params{Keys: 256, Ops: 200, Dist: loadgen.Zipfian, Theta: 0.9, Mix: loadgen.Mixed, Seed: 23})
+		},
 	}
 	protocols := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
 	const nodes = 4

@@ -1,0 +1,248 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Identical configs must yield byte-identical streams — the property
+// the cross-transport checksum assertions stand on.
+func TestIdenticalSeedsIdenticalStreams(t *testing.T) {
+	cfg := Config{Seed: 42, Node: 1, Nodes: 3, Keys: 256, Ops: 500, Dist: Zipfian, Theta: 0.9, Mix: Mixed}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Stream(), b.Stream()
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	// Different seeds must (overwhelmingly) differ.
+	cfg.Seed = 43
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := c.Stream()
+	same := 0
+	for i := range sa {
+		if sa[i] == sc[i] {
+			same++
+		}
+	}
+	if same == len(sa) {
+		t.Fatalf("seeds 42 and 43 produced identical %d-op streams", len(sa))
+	}
+}
+
+// Different nodes of the same seed draw independent streams, and
+// every write lands on a key the issuing node owns.
+func TestWriteOwnership(t *testing.T) {
+	for node := 0; node < 3; node++ {
+		g, err := New(Config{Seed: 7, Node: node, Nodes: 3, Keys: 128, Ops: 1000, Mix: WriteHeavy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range g.Stream() {
+			if op.Kind == Get {
+				continue
+			}
+			if int(op.Key)%3 != node {
+				t.Fatalf("node %d op %d: %v on key %d not owned (key %% 3 = %d)",
+					node, i, op.Kind, op.Key, op.Key%3)
+			}
+			if op.Key >= 128 {
+				t.Fatalf("node %d op %d: key %d out of key space", node, i, op.Key)
+			}
+		}
+	}
+}
+
+// The op mix must track the profile percentages.
+func TestMixProportions(t *testing.T) {
+	const ops = 20000
+	g, err := New(Config{Seed: 11, Node: 0, Nodes: 2, Keys: 64, Ops: ops, Mix: ReadHeavy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OpKind]int{}
+	for _, op := range g.Stream() {
+		counts[op.Kind]++
+	}
+	gets := float64(counts[Get]) / ops * 100
+	if gets < 93 || gets > 97 {
+		t.Fatalf("read-heavy mix drew %.1f%% gets, want ~95%%", gets)
+	}
+	if counts[Put] == 0 || counts[Delete] == 0 {
+		t.Fatalf("read-heavy mix drew no puts or deletes: %v", counts)
+	}
+}
+
+// Zipfian shape: a chi-squared-flavoured check of the empirical rank
+// frequencies against the theoretical 1/(i+1)^theta masses, plus the
+// basic skew properties (rank 0 dominates; the head carries most of
+// the mass). Bounds are generous — this is a distribution-shape
+// gate, not a statistics paper.
+func TestZipfianShape(t *testing.T) {
+	const (
+		keys  = 64
+		ops   = 200000
+		theta = 0.99
+	)
+	g, err := New(Config{Seed: 5, Node: 0, Nodes: 2, Keys: keys, Ops: ops, Dist: Zipfian, Theta: theta, Mix: Mix{GetPct: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freq [keys]int
+	for _, op := range g.Stream() {
+		freq[op.Key]++
+	}
+	// Theoretical masses.
+	z := zeta(keys, theta)
+	var chi2 float64
+	for i := 0; i < keys; i++ {
+		expected := float64(ops) / (math.Pow(float64(i+1), theta) * z)
+		d := float64(freq[i]) - expected
+		chi2 += d * d / expected
+	}
+	// 63 degrees of freedom: the 99.9th percentile is ~103. A broken
+	// generator (uniform, off-by-one ranks, wrong eta) lands orders of
+	// magnitude above this.
+	if chi2 > 150 {
+		t.Fatalf("chi-squared statistic %.1f against zipf(%g) masses, want < 150", chi2, theta)
+	}
+	if freq[0] <= freq[keys-1]*4 {
+		t.Fatalf("rank 0 drew %d, tail rank drew %d — no skew", freq[0], freq[keys-1])
+	}
+	head := 0
+	for i := 0; i < keys/8; i++ {
+		head += freq[i]
+	}
+	if float64(head)/ops < 0.4 {
+		t.Fatalf("hottest 1/8 of keys carries only %.1f%% of draws, want zipfian head weight", float64(head)/ops*100)
+	}
+}
+
+// Uniform must not be skewed: every key within a loose factor of the
+// mean.
+func TestUniformShape(t *testing.T) {
+	const keys, ops = 64, 100000
+	g, err := New(Config{Seed: 9, Node: 0, Nodes: 2, Keys: keys, Ops: ops, Mix: Mix{GetPct: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freq [keys]int
+	for _, op := range g.Stream() {
+		freq[op.Key]++
+	}
+	mean := float64(ops) / keys
+	for k, f := range freq {
+		if float64(f) < mean/2 || float64(f) > mean*2 {
+			t.Fatalf("uniform key %d drew %d, mean is %.0f", k, f, mean)
+		}
+	}
+}
+
+// Open-loop pacing against a fast sink: the run takes at least the
+// schedule's length (the pacer actually paces) and no backlog builds.
+func TestPacerHoldsTargetRate(t *testing.T) {
+	const ops = 25
+	p := NewPacer(500) // 2ms interval → 50ms schedule, far above timer granularity
+	p.Begin()
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		p.Arrival(i)
+	}
+	elapsed := time.Since(start)
+	if want := time.Duration(ops-1) * p.Interval(); elapsed < want {
+		t.Fatalf("paced loop finished in %v, schedule needs >= %v", elapsed, want)
+	}
+	if p.MaxBacklog() > 3 {
+		t.Fatalf("fast sink accumulated backlog %d", p.MaxBacklog())
+	}
+}
+
+// Open-loop pacing against a slow sink: the schedule keeps arriving
+// while the sink sleeps, so the backlog grows and measured latencies
+// include the queueing delay — the coordinated-omission property.
+// A closed-loop measurement would report ~sinkDelay for every op.
+func TestPacerExposesQueueingDelay(t *testing.T) {
+	const (
+		ops       = 20
+		sinkDelay = 2 * time.Millisecond
+	)
+	p := NewPacer(10000) // 100µs interval: 20x slower sink
+	p.Begin()
+	var last time.Duration
+	for i := 0; i < ops; i++ {
+		arrival := p.Arrival(i)
+		time.Sleep(sinkDelay) // the slow sink "serves" the op
+		last = time.Since(arrival)
+	}
+	if p.MaxBacklog() == 0 {
+		t.Fatal("slow sink built no backlog — open-loop accounting inactive")
+	}
+	if p.LateOps() < ops/2 {
+		t.Fatalf("only %d/%d ops started late behind a 20x-slower sink", p.LateOps(), ops)
+	}
+	// The final op queued behind ~19 predecessors, each ~1.9ms over
+	// budget; its latency must be far above one service time.
+	if last < 5*sinkDelay {
+		t.Fatalf("final op latency %v barely exceeds service time %v — queueing delay omitted", last, sinkDelay)
+	}
+}
+
+// Unpaced mode is a closed loop: arrivals are issue times and no
+// backlog is accounted.
+func TestPacerUnpaced(t *testing.T) {
+	p := NewPacer(0)
+	p.Begin()
+	before := time.Now()
+	a := p.Arrival(0)
+	if a.Before(before) {
+		t.Fatalf("unpaced arrival %v predates the call", a)
+	}
+	if p.Interval() != 0 || p.MaxBacklog() != 0 {
+		t.Fatalf("unpaced pacer paced: interval=%v backlog=%d", p.Interval(), p.MaxBacklog())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := Config{Seed: 1, Node: 0, Nodes: 3, Keys: 64, Ops: 10, Mix: Mixed}
+	if _, err := New(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Seed: 1, Node: 3, Nodes: 3, Keys: 64, Ops: 10, Mix: Mixed},                            // node out of range
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 63, Ops: 10, Mix: Mixed},                            // not a power of two
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 4, Ops: 10, Mix: Mixed},                             // too small for ownership
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 64, Ops: 10, Mix: Mix{GetPct: 50, PutPct: 49}},      // sums to 99
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 64, Ops: 10, Dist: Zipfian, Theta: 1.5, Mix: Mixed}, // theta out of range
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 64, Ops: 10, Dist: Zipfian, Theta: 0.0, Mix: Mixed}, // theta unset
+		{Seed: 1, Node: 0, Nodes: 3, Keys: 64, Ops: -1, Mix: Mixed},                            // negative ops
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for name, want := range map[string]Mix{"read-heavy": ReadHeavy, "write-heavy": WriteHeavy, "mixed": Mixed} {
+		got, err := MixByName(name)
+		if err != nil || got != want {
+			t.Fatalf("MixByName(%q) = %+v, %v", name, got, err)
+		}
+	}
+	if _, err := MixByName("bogus"); err == nil {
+		t.Fatal("bogus mix name accepted")
+	}
+}

@@ -259,9 +259,11 @@ func TestFalseShareBenignUnderLRC(t *testing.T) {
 }
 
 // The full fault-free sweep must come back clean: every workload in
-// the suite is data-race-free, so any finding is a checker false
-// positive (or a real engine bug — either must fail the build).
-func TestTenAppsCleanSweep(t *testing.T) {
+// the suite — all eleven apps, kvstore's lock-striped serving
+// traffic included — is data-race-free, so any finding is a checker
+// false positive (or a real engine bug — either must fail the
+// build).
+func TestElevenAppsCleanSweep(t *testing.T) {
 	protos := []core.Protocol{core.SCFixed, core.ERCInvalidate, core.LRC}
 	if testing.Short() {
 		protos = []core.Protocol{core.SCFixed}

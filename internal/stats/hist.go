@@ -161,15 +161,17 @@ type LatHists struct {
 	RPC         Hist // request round-trip time (Call/CallT/CallBatched)
 	LockWait    Hist // lock and event-wait acquisition latency
 	BarrierWait Hist // barrier wait (arrive to release)
+	Op          Hist // application-level serving-op latency (kv Get/Put/Delete, open-loop: queueing delay included)
 }
 
-// Snapshot copies all four histograms.
+// Snapshot copies all histograms.
 func (l *LatHists) Snapshot() LatSnapshot {
 	return LatSnapshot{
 		Fault:       l.Fault.Snapshot(),
 		RPC:         l.RPC.Snapshot(),
 		LockWait:    l.LockWait.Snapshot(),
 		BarrierWait: l.BarrierWait.Snapshot(),
+		Op:          l.Op.Snapshot(),
 	}
 }
 
@@ -179,6 +181,7 @@ type LatSnapshot struct {
 	RPC         HistSnapshot
 	LockWait    HistSnapshot
 	BarrierWait HistSnapshot
+	Op          HistSnapshot
 }
 
 // Add aggregates two latency snapshots bucket-wise.
@@ -188,6 +191,7 @@ func (s LatSnapshot) Add(o LatSnapshot) LatSnapshot {
 		RPC:         s.RPC.Add(o.RPC),
 		LockWait:    s.LockWait.Add(o.LockWait),
 		BarrierWait: s.BarrierWait.Add(o.BarrierWait),
+		Op:          s.Op.Add(o.Op),
 	}
 }
 
@@ -204,6 +208,7 @@ func (s LatSnapshot) Classes() []NamedHist {
 		{"rpc", s.RPC},
 		{"lock_wait", s.LockWait},
 		{"barrier_wait", s.BarrierWait},
+		{"op", s.Op},
 	}
 }
 
@@ -220,14 +225,14 @@ func latReport(snaps []Snapshot) string {
 	if !any {
 		return ""
 	}
-	t := NewTable("node", "class", "count", "p50_us", "p90_us", "p99_us", "max_us", "mean_us")
+	t := NewTable("node", "class", "count", "p50_us", "p90_us", "p99_us", "p999_us", "max_us", "mean_us")
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
 	row := func(label string, ls LatSnapshot) {
 		for _, c := range ls.Classes() {
 			if c.Count == 0 {
 				continue
 			}
-			t.AddRow(label, c.Name, c.Count, us(c.Quantile(0.5)), us(c.Quantile(0.9)), us(c.Quantile(0.99)), us(c.MaxNs), us(c.MeanNs()))
+			t.AddRow(label, c.Name, c.Count, us(c.Quantile(0.5)), us(c.Quantile(0.9)), us(c.Quantile(0.99)), us(c.Quantile(0.999)), us(c.MaxNs), us(c.MeanNs()))
 		}
 	}
 	for i, s := range snaps {

@@ -110,6 +110,7 @@ type HistogramSummary struct {
 	P50Us  float64 `json:"p50_us"`
 	P90Us  float64 `json:"p90_us"`
 	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
 	MaxUs  float64 `json:"max_us"`
 }
 
@@ -129,6 +130,7 @@ func HistogramSummaries(ls stats.LatSnapshot) []HistogramSummary {
 			P50Us:  us(c.Quantile(0.5)),
 			P90Us:  us(c.Quantile(0.9)),
 			P99Us:  us(c.Quantile(0.99)),
+			P999Us: us(c.Quantile(0.999)),
 			MaxUs:  us(c.MaxNs),
 		})
 	}
