@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke race-smoke kv-smoke experiments examples fmt vet clean
+.PHONY: all build test race short bench bench-alloc chaos tcp-smoke trace-smoke race-smoke kv-smoke metrics-smoke experiments examples fmt vet clean
 
 all: build test
 
@@ -14,7 +14,7 @@ build:
 # is the newest and the most delicate), the allocation-regression
 # gate, the multi-process TCP smoke run, the tracing smoke run, and
 # the race-checker smoke run.
-test: vet tcp-smoke trace-smoke race-smoke kv-smoke bench-alloc
+test: vet tcp-smoke trace-smoke race-smoke kv-smoke metrics-smoke bench-alloc
 	$(GO) test ./... -timeout 1200s
 	$(GO) test -race -timeout 900s ./internal/chaos ./internal/nodecore ./internal/simnet ./internal/transport/tcp ./internal/cluster ./internal/trace
 
@@ -26,9 +26,9 @@ test: vet tcp-smoke trace-smoke race-smoke kv-smoke bench-alloc
 # histogram observe). The benchmarks print current numbers for the
 # paths that clone by design (receive-side decode).
 bench-alloc:
-	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/ ./internal/kv/
-	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|AccessEmit|HistObserve|KVOpRecord' \
-		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/ ./internal/kv/
+	$(GO) test -run ZeroAlloc -count=1 ./internal/wire/ ./internal/mem/ ./internal/trace/ ./internal/kv/ ./internal/metrics/
+	$(GO) test -run '^$$' -bench 'Encode|DecodeInto|PackBatch|AppendDiff|ApplyDiff|FrameRoundTrip|EmitDisabled|EmitEnabled|AccessEmit|HistObserve|KVOpRecord|SampleOnce|PromWrite' \
+		-benchtime 1000x -benchmem -timeout 300s ./internal/wire/ ./internal/mem/ ./internal/transport/tcp/ ./internal/trace/ ./internal/kv/ ./internal/metrics/
 
 short:
 	$(GO) test ./... -short -timeout 600s
@@ -76,6 +76,15 @@ race-smoke:
 # open-loop run cannot finish ahead of its schedule.
 kv-smoke:
 	$(GO) test -run 'TestKVSmoke|TestKVOpenLoopPacing' -count=1 ./internal/kv/
+
+# Metrics acceptance gate: scrape /metrics from a live TCP loopback
+# cluster frozen at a quiesced instant and require the exposition to
+# parse as Prometheus text format with every counter sample exactly
+# equal to the node's /stats counters; then induce a watchdog stall
+# with the flight recorder armed and require a bundle whose rendered
+# report names the stalled peer.
+metrics-smoke:
+	$(GO) test -run 'TestMetricsSmoke|TestFlightOnStall' -count=1 ./internal/metrics/
 
 # Regenerate every experiment table and figure (EXPERIMENTS.md data).
 experiments:

@@ -12,6 +12,9 @@
 //	dsmrun -transport tcp -nodes 3 -app sor      # multi-process demo
 //	dsmrun -transport tcp -node 1 -peers h0:p0,h1:p1,h2:p2 -app sor
 //	dsmrun -transport tcp -nodes 3 -app sor -debug-addr 127.0.0.1:0
+//	dsmrun -app kvstore -qps 2000 -sample                 # metrics sampler + windowed summary
+//	dsmrun -transport tcp -nodes 3 -app kvstore -watch    # live per-node dashboard over the demo
+//	dsmrun -app sor -chaos -flight-dir /tmp/flight        # stall evidence bundles (dsmtrace -flight)
 //	dsmrun -list
 //
 // -trace writes a Chrome trace-event file loadable in Perfetto
@@ -49,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -96,6 +100,10 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (enables event tracing; tcp nodes write FILE.node<id>)")
 	statsFmt := flag.String("stats", "table", "stats output format: table or json")
 	debugAddr := flag.String("debug-addr", "", "with -transport tcp: serve the HTTP debug endpoint (stats, trace, histograms, pprof) on this address")
+	sample := flag.Bool("sample", false, "run the metrics sampler (time-series ring; adds /metrics and /metrics.json to the debug endpoint)")
+	flightDir := flag.String("flight-dir", "", "arm the flight recorder: dump a JSON bundle (samples, trace window, goroutines) here on a watchdog stall or abnormal exit")
+	watch := flag.Bool("watch", false, "render a refreshing per-node metrics dashboard during the run (implies -sample)")
+	slo := flag.Duration("slo", 10*time.Millisecond, "op-latency SLO target for the attainment gauge")
 	qps := flag.Float64("qps", 0, "with -app kvstore: per-node open-loop target rate (0 = unpaced closed loop)")
 	mixName := flag.String("mix", "", "with -app kvstore: op profile (read-heavy | write-heavy | mixed)")
 	zipf := flag.Float64("zipf", -1, "with -app kvstore: Zipfian skew theta in (0,1); 0 selects the uniform distribution")
@@ -148,12 +156,19 @@ func main() {
 		fatal("%s is not lock-only; entry consistency requires bound data", app.Name())
 	}
 
+	obs := obsOpts{
+		sample:    *sample || *watch,
+		flightDir: *flightDir,
+		watch:     *watch,
+		slo:       *slo,
+		qps:       *qps,
+	}
 	switch *transportName {
 	case "sim":
 		if *debugAddr != "" {
 			fatal("-debug-addr is for -transport tcp; the simulator exposes everything in-process")
 		}
-		runSim(app, kvs, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed, *traceFile, *statsFmt)
+		runSim(app, kvs, proto, *nodes, *page, *latency, *perByte, *advise, *chaosOn, *seed, *traceFile, *statsFmt, obs)
 	case "tcp":
 		if *chaosOn {
 			fatal("-chaos is simulator-only (a real network brings its own faults)")
@@ -162,13 +177,22 @@ func main() {
 			fatal("-latency/-perbyte model the simulator; the real network has real latency")
 		}
 		if *nodeID >= 0 {
-			runTCPNode(app, kvs, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD, *traceFile, *statsFmt, *debugAddr)
+			runTCPNode(app, kvs, proto, *page, *advise, *seed, *nodeID, *peers, *listenFD, *traceFile, *statsFmt, *debugAddr, obs)
 		} else {
-			runTCPDemo(*nodes, *peers)
+			runTCPDemo(*nodes, *peers, obs)
 		}
 	default:
 		fatal("unknown transport %q (sim or tcp)", *transportName)
 	}
+}
+
+// obsOpts carries the observability flags into the run modes.
+type obsOpts struct {
+	sample    bool
+	flightDir string
+	watch     bool
+	slo       time.Duration
+	qps       float64
 }
 
 // kvFromFlags builds the kvstore app from the serving flags, starting
@@ -289,7 +313,7 @@ func writeChromeFile(path string, streams []trace.Stream) {
 
 // runSim is the classic mode: the whole cluster in this process over
 // the simulated network.
-func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64, traceFile, statsFmt string) {
+func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, latency, perByte time.Duration, advise, chaosOn bool, seed int64, traceFile, statsFmt string, obs obsOpts) {
 	cfg := core.Config{
 		Nodes:     nodes,
 		Protocol:  proto,
@@ -300,8 +324,8 @@ func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, l
 		Advise:    advise,
 		Seed:      seed,
 		// The serving workload always records op latencies: SLO
-		// quantiles are its whole point.
-		EventTrace: traceFile != "" || kvs != nil,
+		// quantiles are its whole point; the sampler wants them too.
+		EventTrace: traceFile != "" || kvs != nil || obs.sample,
 	}
 	var plan chaos.Plan
 	if chaosOn {
@@ -311,11 +335,58 @@ func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, l
 		cfg.Retry = chaos.Retry()
 		cfg.WatchdogTimeout = 30 * time.Second
 	}
+	// Arm the flight recorder before the cluster exists so the
+	// watchdog hook lands in the Config (Dump is nil-safe until rec is
+	// filled in below).
+	var rec *metrics.Recorder
+	if obs.flightDir != "" {
+		cfg.OnStall = func(report string) { rec.Dump(report) }
+	}
 	c, err := core.NewCluster(cfg)
 	if err != nil {
 		fatal("%v", err)
 	}
 	defer c.Close()
+	var smp *metrics.Sampler
+	if obs.sample {
+		smp = metrics.Start(metrics.Config{
+			Node:   -1, // whole-cluster aggregate
+			Source: c.TotalStats,
+			// obs.qps is per node; the aggregate source drains nodes×qps.
+			TargetOpsPerSec: obs.qps * float64(nodes),
+			SLOTarget:       obs.slo,
+		})
+		defer smp.Stop()
+	}
+	if obs.flightDir != "" {
+		rec = &metrics.Recorder{
+			Dir:    obs.flightDir,
+			Node:   -1,
+			Digest: cfg.Digest(),
+			Meta: map[string]string{
+				"app":       app.Name(),
+				"protocol":  proto.String(),
+				"transport": "sim",
+			},
+			Sampler: smp,
+			Streams: c.TraceStreams,
+		}
+	}
+	stopWatch := make(chan struct{})
+	if obs.watch {
+		go func() {
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopWatch:
+					return
+				case <-tick.C:
+					metrics.RenderLocal(os.Stderr, smp.Window())
+				}
+			}
+		}()
+	}
 	if err := app.Setup(c); err != nil {
 		fatal("setup: %v", err)
 	}
@@ -328,7 +399,11 @@ func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, l
 	if inj != nil {
 		inj.Stop()
 	}
+	close(stopWatch)
 	if err != nil {
+		if path, derr := rec.Dump("run: " + err.Error()); derr == nil && path != "" {
+			fmt.Fprintf(os.Stderr, "dsmrun: flight bundle: %s (replay with dsmtrace -flight)\n", path)
+		}
 		fatal("run: %v", err)
 	}
 	elapsed := time.Since(start)
@@ -351,6 +426,14 @@ func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, l
 		if kvs != nil {
 			servingReport(os.Stdout, kvs)
 		}
+		if smp != nil {
+			smp.Stop()
+			fmt.Printf("\nmetrics window (cluster aggregate):\n")
+			metrics.RenderLocal(os.Stdout, smp.Window())
+			if bad := smp.Reconcile(c.TotalStats()); len(bad) != 0 {
+				fmt.Printf("metrics reconcile mismatches: %v\n", bad)
+			}
+		}
 		if chaosOn {
 			fmt.Printf("\nfaults injected: %v\n", c.FaultStats())
 		}
@@ -364,7 +447,7 @@ func runSim(app apps.App, kvs *kv.Store, proto core.Protocol, nodes, page int, l
 }
 
 // runTCPNode hosts one node of a multi-process cluster.
-func runTCPNode(app apps.App, kvs *kv.Store, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint, traceFile, statsFmt, debugAddr string) {
+func runTCPNode(app apps.App, kvs *kv.Store, proto core.Protocol, page int, advise bool, seed int64, self int, peers string, listenFD uint, traceFile, statsFmt, debugAddr string, obs obsOpts) {
 	if peers == "" {
 		fatal("-transport tcp -node %d needs -peers host:port,... for every node", self)
 	}
@@ -386,7 +469,7 @@ func runTCPNode(app apps.App, kvs *kv.Store, proto core.Protocol, page int, advi
 		HeapBytes:       1 << 22,
 		Advise:          advise,
 		Seed:            seed,
-		EventTrace:      traceFile != "" || debugAddr != "" || kvs != nil,
+		EventTrace:      traceFile != "" || debugAddr != "" || kvs != nil || obs.sample,
 		WatchdogTimeout: 30 * time.Second,
 	}
 	start := time.Now()
@@ -401,6 +484,10 @@ func runTCPNode(app apps.App, kvs *kv.Store, proto core.Protocol, page int, advi
 		OnDebug: func(addr string) {
 			fmt.Printf("node %d: debug endpoint http://%s\n", self, addr)
 		},
+		Sample:          obs.sample,
+		TargetOpsPerSec: obs.qps,
+		SLOTarget:       obs.slo,
+		FlightDir:       obs.flightDir,
 	})
 	if err != nil {
 		fatal("node %d: %v", self, err)
@@ -453,8 +540,11 @@ func (w *prefixWriter) Write(p []byte) (int, error) {
 
 // runTCPDemo spawns the whole cluster as child dsmrun processes on
 // loopback: it pre-binds every node's port (no races, no fixed port
-// list) and hands each child its listener as an inherited fd.
-func runTCPDemo(nodes int, peers string) {
+// list) and hands each child its listener as an inherited fd. With
+// -watch it also reserves one debug port per child, passes it as that
+// child's -debug-addr, and polls every endpoint into a live dashboard
+// while the cluster runs.
+func runTCPDemo(nodes int, peers string, obs obsOpts) {
 	if peers != "" {
 		fatal("either -node i -peers ... (join a cluster) or neither (spawn one locally)")
 	}
@@ -470,6 +560,21 @@ func runTCPDemo(nodes int, peers string) {
 		}
 		addrs[i] = lns[i].Addr().String()
 	}
+	// The dashboard needs to know each child's debug address before it
+	// starts, so reserve ports up front: bind :0, record, release, and
+	// pass the exact address. (The tiny rebind window is fine for a
+	// demo; the DSM ports themselves use inherited fds.)
+	var debugAddrs []string
+	if obs.watch {
+		for i := 0; i < nodes; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fatal("%v", err)
+			}
+			debugAddrs = append(debugAddrs, ln.Addr().String())
+			ln.Close()
+		}
+	}
 	fmt.Printf("spawning %d node processes on %s\n", nodes, strings.Join(addrs, " "))
 	args := append([]string{}, os.Args[1:]...)
 	var mu sync.Mutex
@@ -479,10 +584,15 @@ func runTCPDemo(nodes int, peers string) {
 		if err != nil {
 			fatal("%v", err)
 		}
-		cmd := exec.Command(exe, append(append([]string{}, args...),
+		childArgs := append(append([]string{}, args...),
 			"-node", strconv.Itoa(i),
 			"-peers", strings.Join(addrs, ","),
-			"-listen-fd", "3")...)
+			"-listen-fd", "3")
+		if obs.watch {
+			// Appended last so it wins over any user-supplied :0 value.
+			childArgs = append(childArgs, "-debug-addr", debugAddrs[i], "-sample")
+		}
+		cmd := exec.Command(exe, childArgs...)
 		cmd.ExtraFiles = []*os.File{f}
 		w := &prefixWriter{mu: &mu, prefix: fmt.Sprintf("[node %d] ", i)}
 		cmd.Stdout = w
@@ -494,12 +604,27 @@ func runTCPDemo(nodes int, peers string) {
 		lns[i].Close()
 		cmds[i] = cmd
 	}
+	stopWatch := make(chan struct{})
+	watchDone := make(chan struct{})
+	if obs.watch {
+		go func() {
+			defer close(watchDone)
+			// Plain append mode: the dashboard interleaves with the
+			// children's prefixed output. cmd/dsmtop gives the
+			// full-screen view.
+			metrics.Watch(os.Stdout, debugAddrs, metrics.WatchOpts{Stop: stopWatch})
+		}()
+	}
 	failed := false
 	for i, cmd := range cmds {
 		if err := cmd.Wait(); err != nil {
 			fmt.Fprintf(os.Stderr, "dsmrun: node %d: %v\n", i, err)
 			failed = true
 		}
+	}
+	if obs.watch {
+		close(stopWatch)
+		<-watchDone
 	}
 	if failed {
 		os.Exit(1)

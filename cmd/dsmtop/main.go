@@ -1,0 +1,46 @@
+// dsmtop is a live cluster dashboard: it polls the /metrics.json
+// route of every node's debug endpoint and renders a refreshing
+// per-node + cluster-aggregate table — windowed QPS, latency
+// quantiles, SLO attainment, message and fault rates, backlog, and
+// chaos counters.
+//
+// Point it at the debug endpoints of a running TCP cluster (dsmrun
+// -transport tcp ... -debug-addr ... -sample):
+//
+//	dsmtop 127.0.0.1:7070 127.0.0.1:7071 127.0.0.1:7072
+//	dsmtop -interval 500ms -plain host:7070   # append rounds, no screen clears
+//	dsmtop -rounds 1 host:7070                # one scrape, for scripts
+//
+// A node that stops answering renders as an error row; the rest of
+// the dashboard keeps refreshing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	interval := flag.Duration("interval", time.Second, "poll period")
+	rounds := flag.Int("rounds", 0, "number of refresh rounds (0 = until interrupted)")
+	plain := flag.Bool("plain", false, "append rounds instead of clearing the screen")
+	flag.Parse()
+	endpoints := flag.Args()
+	if len(endpoints) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dsmtop [-interval d] [-rounds n] [-plain] host:port ...")
+		fmt.Fprintln(os.Stderr, "each host:port is a dsmrun debug endpoint started with -debug-addr and -sample")
+		os.Exit(2)
+	}
+	if err := metrics.Watch(os.Stdout, endpoints, metrics.WatchOpts{
+		Interval:    *interval,
+		Rounds:      *rounds,
+		ClearScreen: !*plain,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmtop: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -19,6 +19,7 @@
 //	dsmtrace -races -scenario falseshare -proto ec   # page-granularity races
 //	dsmtrace -races -scenario broken -chaos          # seeded coherence bug, under faults
 //	dsmtrace -races -fetch host:7070,host:7071       # check a live cluster's /trace endpoints
+//	dsmtrace -flight flight-node0-....json           # replay a flight-recorder stall bundle
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kv"
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
 	"repro/internal/racecheck"
 	"repro/internal/trace"
 )
@@ -45,7 +47,19 @@ func main() {
 	expect := flag.String("expect", "", "assert the checker's outcome: clean | race | sharing | violation (exit 1 on mismatch)")
 	fetch := flag.String("fetch", "", "comma-separated /trace debug endpoints to check instead of running a scenario (implies -races)")
 	withChaos := flag.Bool("chaos", false, "run the scenario under the default chaos plan (drops, dups, latency spikes + retries)")
+	flight := flag.String("flight", "", "render a flight-recorder bundle (written by -flight-dir on a stall) instead of running a scenario")
 	flag.Parse()
+
+	if *flight != "" {
+		b, err := metrics.LoadBundle(*flight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := metrics.WriteFlightReport(os.Stdout, b); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *fetch != "" {
 		streams, err := racecheck.FetchStreams(strings.Split(*fetch, ","))

@@ -82,6 +82,7 @@ func All() []Experiment {
 		{"e13", "Latency histograms: where protocol time goes, fault-free and under chaos", "per-phase latency attribution (TreadMarks-style breakdowns)", E13Latency},
 		{"e14", "Trace-powered data-race and SC-violation detection", "vector-clock race detection (Netzer/Miller-style trace analysis)", E14RaceCheck},
 		{"e15", "KV serving on the DSM: open-loop QPS and SLO tail latency across protocols, transports, and chaos", "YCSB-style serving evaluation, open-loop methodology", E15Serving},
+		{"e16", "Metrics pipeline: sampler transparency, rate reconciliation, exposition validity, flight recorder on stall", "production observability for a research DSM (observation-only contract)", E16Metrics},
 	}
 }
 

@@ -11,8 +11,8 @@ import (
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 14 {
-		t.Fatalf("registry has %d experiments, want 14 (e2..e15)", len(all))
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments, want 15 (e2..e16)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

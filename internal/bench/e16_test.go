@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE16Metrics is the observability acceptance gate: every sampled
+// cell must match its sampler-off checksum, reconcile its windowed
+// rates against the final counters, and emit a parseable Prometheus
+// exposition (E16Metrics returns an error on any violation), and the
+// induced stall must produce a flight bundle naming the stuck peer.
+func TestE16Metrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 runs TCP loopback clusters, paced schedules, and a deliberate watchdog stall")
+	}
+	var out strings.Builder
+	if err := E16Metrics(&out); err != nil {
+		t.Fatalf("E16: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, cell := range []string{"sim fault-free", "sim chaos", "tcp node 0", "tcp node 1", "tcp node 2"} {
+		if !strings.Contains(got, cell) {
+			t.Fatalf("E16 output missing cell %q:\n%s", cell, got)
+		}
+	}
+	for _, want := range []string{"baseline", "reconcile", "prom_families", "flight recorder", "lock-req to 0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("E16 output missing %q:\n%s", want, got)
+		}
+	}
+}

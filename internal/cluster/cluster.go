@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"net/http"
 	"os"
 	"sync"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -70,6 +72,26 @@ type NodeOpts struct {
 	// OnDebug, if set, receives the bound debug address once the
 	// endpoint is listening (before the workload starts).
 	OnDebug func(addr string)
+	// Sample starts the metrics sampler for this node: a time-series
+	// ring over the node's counters, served as /metrics (Prometheus
+	// text format) and /metrics.json (dsmtop) on the debug endpoint
+	// and captured by the flight recorder. Needs Cfg.EventTrace for
+	// latency quantiles; counters sample regardless.
+	Sample bool
+	// SampleInterval overrides the sampling period (default
+	// metrics.DefaultInterval).
+	SampleInterval time.Duration
+	// TargetOpsPerSec is the node's open-loop serving target, enabling
+	// the derived backlog gauge.
+	TargetOpsPerSec float64
+	// SLOTarget is the op-latency SLO threshold for the attainment
+	// gauge (default metrics.DefaultSLOTarget).
+	SLOTarget time.Duration
+	// FlightDir arms the flight recorder: a watchdog stall or an
+	// abnormal node exit dumps a JSON bundle (samples, trace window,
+	// goroutine profile, config digest) there, replayable with
+	// `dsmtrace -flight FILE`.
+	FlightDir string
 }
 
 // Result is one node's view of a completed run.
@@ -87,6 +109,10 @@ type Result struct {
 	// Trace is this node's event stream, non-nil when Cfg.EventTrace
 	// was set (each process traces only its own node).
 	Trace *trace.Stream
+	// Sampler is the node's stopped metrics sampler, non-nil when
+	// NodeOpts.Sample was set — its last sample matches Stats, which
+	// callers can assert with Sampler.Reconcile.
+	Sampler *metrics.Sampler
 }
 
 // digestFor fingerprints everything the processes must agree on:
@@ -110,18 +136,41 @@ func digestFor(cfg core.Config, app apps.App, extra uint64) uint64 {
 // until the cluster-wide shutdown handshake completes. It is the
 // common engine behind `dsmrun -transport tcp` and the multi-process
 // tests.
-func RunNode(o NodeOpts) (*Result, error) {
+func RunNode(o NodeOpts) (_ *Result, retErr error) {
 	if o.App == nil {
 		return nil, fmt.Errorf("cluster: no workload")
 	}
 	if len(o.Addrs) != o.Cfg.Nodes {
 		return nil, fmt.Errorf("cluster: %d peer addresses for %d nodes", len(o.Addrs), o.Cfg.Nodes)
 	}
+	digest := digestFor(o.Cfg, o.App, o.ExtraDigest)
+	// Arm the flight recorder before the cluster exists: the watchdog
+	// hook must be in the Config. rec is filled in below (Dump is
+	// nil-safe until then), and the deferred dump catches abnormal
+	// exits the watchdog didn't cause.
+	var rec *metrics.Recorder
+	if o.FlightDir != "" {
+		prev := o.Cfg.OnStall
+		o.Cfg.OnStall = func(report string) {
+			rec.Dump(report)
+			if prev != nil {
+				prev(report)
+			}
+		}
+		defer func() {
+			if retErr == nil {
+				return
+			}
+			if path, err := rec.Dump("cluster: node exiting abnormally: " + retErr.Error()); err == nil && path != "" {
+				retErr = fmt.Errorf("%w (flight bundle: %s)", retErr, path)
+			}
+		}()
+	}
 	tr, err := tcp.New(tcp.Config{
 		Self:         transport.NodeID(o.Self),
 		Addrs:        o.Addrs,
 		Listener:     o.Listener,
-		ConfigDigest: digestFor(o.Cfg, o.App, o.ExtraDigest),
+		ConfigDigest: digest,
 		DialWindow:   o.DialWindow,
 	})
 	if err != nil {
@@ -133,11 +182,44 @@ func RunNode(o NodeOpts) (*Result, error) {
 		return nil, err
 	}
 	defer c.Close()
+	var smp *metrics.Sampler
+	if o.Sample {
+		smp = metrics.Start(metrics.Config{
+			Node:            int32(o.Self),
+			Interval:        o.SampleInterval,
+			Source:          func() stats.Snapshot { return c.Stats()[0] },
+			TargetOpsPerSec: o.TargetOpsPerSec,
+			SLOTarget:       o.SLOTarget,
+		})
+		defer smp.Stop()
+	}
+	if o.FlightDir != "" {
+		rec = &metrics.Recorder{
+			Dir:    o.FlightDir,
+			Node:   int32(o.Self),
+			Digest: digest,
+			Meta: map[string]string{
+				"app":       o.App.Name(),
+				"transport": "tcp",
+			},
+			Sampler: smp,
+			Streams: func() []trace.Stream {
+				if t := c.Tracer(o.Self); t != nil {
+					return []trace.Stream{t.Stream()}
+				}
+				return nil
+			},
+		}
+	}
 	if o.DebugAddr != "" {
 		ds, err := trace.ServeDebug(o.DebugAddr, trace.DebugConfig{
 			Node:   int32(o.Self),
 			Stats:  func() stats.Snapshot { return c.Stats()[0] },
 			Tracer: c.Tracer(o.Self),
+			Extra: map[string]http.Handler{
+				"/metrics":      smp.PromHandler(),
+				"/metrics.json": smp.JSONHandler(),
+			},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: debug endpoint: %w", err)
@@ -182,6 +264,11 @@ func RunNode(o NodeOpts) (*Result, error) {
 	if err := n.Barrier(ShutdownBarrier); err != nil {
 		return nil, fmt.Errorf("cluster: post-verify barrier: %w", err)
 	}
+	// Stop the sampler at the quiesce point so its final sample equals
+	// the final counters read just below (Sampler.Reconcile's
+	// contract).
+	smp.Stop()
+	res.Sampler = smp
 	res.Stats = c.Stats()[0]
 	res.Net = c.TransportCounters()
 	if tr := c.Tracer(o.Self); tr != nil {
@@ -198,6 +285,14 @@ func RunNode(o NodeOpts) (*Result, error) {
 // workload per call (instances hold per-node allocation state).
 // Results are indexed by node; index 0 carries the checksum.
 func Loopback(cfg core.Config, newApp func() apps.App, verify bool) ([]*Result, error) {
+	return LoopbackWith(cfg, newApp, verify, nil)
+}
+
+// LoopbackWith is Loopback with a per-node options hook: mod (may be
+// nil) runs on each node's NodeOpts before it starts — how the E16
+// experiment turns on sampling and debug endpoints for every member
+// of an in-process TCP cluster.
+func LoopbackWith(cfg core.Config, newApp func() apps.App, verify bool, mod func(o *NodeOpts)) ([]*Result, error) {
 	lns := make([]net.Listener, cfg.Nodes)
 	addrs := make([]string, cfg.Nodes)
 	for i := range lns {
@@ -218,14 +313,18 @@ func Loopback(cfg core.Config, newApp func() apps.App, verify bool) ([]*Result, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = RunNode(NodeOpts{
+			o := NodeOpts{
 				Cfg:      cfg,
 				App:      newApp(),
 				Self:     i,
 				Addrs:    addrs,
 				Listener: lns[i],
 				Verify:   verify,
-			})
+			}
+			if mod != nil {
+				mod(&o)
+			}
+			results[i], errs[i] = RunNode(o)
 		}(i)
 	}
 	wg.Wait()

@@ -217,6 +217,13 @@ type Config struct {
 	// are in flight, Run fails with a per-node dump of the stuck
 	// calls. Zero disables the watchdog.
 	WatchdogTimeout time.Duration
+
+	// OnStall, if set, is called with the watchdog's stall report just
+	// before the cluster is torn down — the flight recorder's hook to
+	// capture evidence while the stuck state is still live. It runs on
+	// the watchdog goroutine and must not block on cluster progress.
+	// Node-local, excluded from Digest.
+	OnStall func(report string)
 }
 
 func (c *Config) fillDefaults() error {

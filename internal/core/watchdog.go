@@ -114,8 +114,14 @@ func (w *watchdog) fire(pending int) {
 		b.WriteString(n.rt.DumpPending())
 		b.WriteByte('\n')
 	}
+	report := strings.TrimRight(b.String(), "\n")
 	w.mu.Lock()
-	w.err = fmt.Errorf("%s", strings.TrimRight(b.String(), "\n"))
+	w.err = fmt.Errorf("%s", report)
 	w.mu.Unlock()
+	// Give the flight recorder its shot while the stuck state is still
+	// live (goroutine stacks, pending tables), then tear down.
+	if w.c.cfg.OnStall != nil {
+		w.c.cfg.OnStall(report)
+	}
 	w.c.Close()
 }

@@ -92,6 +92,50 @@ func TestWatchdogSeesThroughDuplicateChatter(t *testing.T) {
 	}
 }
 
+// TestWatchdogOnStallHook: the OnStall callback receives the stall
+// report (with the stuck calls named) before teardown, exactly once.
+func TestWatchdogOnStallHook(t *testing.T) {
+	reports := make(chan string, 4)
+	c, err := NewCluster(Config{
+		Nodes:           2,
+		WatchdogTimeout: 300 * time.Millisecond,
+		OnStall:         func(report string) { reports <- report },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Run(func(n *Node) error {
+		if n.ID() == 0 {
+			if err := n.Acquire(2); err != nil {
+				return err
+			}
+			<-n.Runtime().Done()
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+		return n.Acquire(2)
+	})
+	if err == nil {
+		t.Fatal("stalled run returned nil")
+	}
+	select {
+	case report := <-reports:
+		for _, want := range []string{"watchdog", "lock-req to 0"} {
+			if !strings.Contains(report, want) {
+				t.Fatalf("OnStall report %q missing %q", report, want)
+			}
+		}
+	default:
+		t.Fatal("OnStall never called")
+	}
+	select {
+	case extra := <-reports:
+		t.Fatalf("OnStall called more than once: %q", extra)
+	default:
+	}
+}
+
 // TestWatchdogQuietOnHealthyRun: the watchdog must not fire on a run
 // that is slow but making progress, nor on one computing locally.
 func TestWatchdogQuietOnHealthyRun(t *testing.T) {

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// Add with an existing (series, x) pair must update the point in
+// place, not grow a duplicate series or row.
+func TestChartAddUpdatesExistingPoint(t *testing.T) {
+	ch := NewChart("t", "x", "y")
+	ch.Add("a", 1, 2)
+	ch.Add("a", 1, 5)
+	out := ch.String()
+	if strings.Count(out, "= a") != 1 {
+		t.Fatalf("duplicate series after re-Add:\n%s", out)
+	}
+	if !strings.Contains(out, "A=5.00") || strings.Contains(out, "A=2.00") {
+		t.Fatalf("re-Add did not replace the point:\n%s", out)
+	}
+}
+
+// More series than marker letters: markers wrap instead of indexing
+// out of range.
+func TestChartMarkerWrap(t *testing.T) {
+	ch := NewChart("t", "x", "y")
+	for i := 0; i < 20; i++ {
+		ch.Add(strings.Repeat("s", i+1), float64(i), float64(i))
+	}
+	out := ch.String()
+	if !strings.Contains(out, "A = s\n") {
+		t.Fatalf("first series lost its marker:\n%s", out)
+	}
+	// Series 16 wraps back to marker 'A'.
+	if !strings.Contains(out, "A = "+strings.Repeat("s", 17)) {
+		t.Fatalf("marker letters did not wrap at 16 series:\n%s", out)
+	}
+}
+
+// A flat series (ymax == ymin == 0) must render without dividing by
+// zero, and negative values clamp to the left edge rather than
+// escaping the band.
+func TestChartDegenerateRanges(t *testing.T) {
+	flat := NewChart("t", "x", "y")
+	flat.Add("a", 1, 0)
+	flat.Add("a", 2, 0)
+	if out := flat.String(); !strings.Contains(out, "A=0.00") {
+		t.Fatalf("flat chart mis-rendered:\n%s", out)
+	}
+	neg := NewChart("t", "x", "y")
+	neg.Add("a", 1, -3)
+	neg.Add("a", 2, 6)
+	out := neg.String()
+	if !strings.Contains(out, "A=-3.00") || !strings.Contains(out, "A=6.00") {
+		t.Fatalf("negative point lost:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && len(line) > 80 {
+			t.Fatalf("row escaped the chart band: %q", line)
+		}
+	}
+}

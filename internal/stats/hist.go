@@ -91,6 +91,55 @@ func (s HistSnapshot) Add(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Sub returns the bucket-wise difference s - o: the observations
+// recorded between two snapshots of the same histogram. Counts are
+// clamped at zero so a torn concurrent snapshot can never produce a
+// negative window. MaxNs keeps the later snapshot's maximum (the
+// per-window maximum is not recoverable from cumulative state).
+func (s HistSnapshot) Sub(o HistSnapshot) HistSnapshot {
+	out := s
+	if out.Count -= o.Count; out.Count < 0 {
+		out.Count = 0
+	}
+	if out.SumNs -= o.SumNs; out.SumNs < 0 {
+		out.SumNs = 0
+	}
+	for i := range out.Buckets {
+		if out.Buckets[i] -= o.Buckets[i]; out.Buckets[i] < 0 {
+			out.Buckets[i] = 0
+		}
+	}
+	return out
+}
+
+// FractionBelow estimates the fraction of observations at or below
+// the given nanosecond threshold — the SLO attainment for a latency
+// target. The straddling bucket contributes linearly. Returns 1 when
+// the histogram is empty (no ops means no SLO misses).
+func (s HistSnapshot) FractionBelow(ns int64) float64 {
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	var below float64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		switch {
+		case hi <= ns:
+			below += float64(c)
+		case lo < ns:
+			below += float64(c) * float64(ns-lo) / float64(hi-lo)
+		}
+	}
+	return below / float64(total)
+}
+
 // MeanNs returns the mean observation, or 0 when empty.
 func (s HistSnapshot) MeanNs() int64 {
 	if s.Count == 0 {
@@ -192,6 +241,17 @@ func (s LatSnapshot) Add(o LatSnapshot) LatSnapshot {
 		LockWait:    s.LockWait.Add(o.LockWait),
 		BarrierWait: s.BarrierWait.Add(o.BarrierWait),
 		Op:          s.Op.Add(o.Op),
+	}
+}
+
+// Sub returns the class-wise window s - o.
+func (s LatSnapshot) Sub(o LatSnapshot) LatSnapshot {
+	return LatSnapshot{
+		Fault:       s.Fault.Sub(o.Fault),
+		RPC:         s.RPC.Sub(o.RPC),
+		LockWait:    s.LockWait.Sub(o.LockWait),
+		BarrierWait: s.BarrierWait.Sub(o.BarrierWait),
+		Op:          s.Op.Sub(o.Op),
 	}
 }
 

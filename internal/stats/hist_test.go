@@ -27,6 +27,67 @@ func TestQuantileEmptyBuckets(t *testing.T) {
 	}
 }
 
+// Sub must recover exactly the observations made between two
+// snapshots, and clamp rather than go negative on torn input.
+func TestHistSub(t *testing.T) {
+	var h Hist
+	for i := 0; i < 100; i++ {
+		h.Observe(700)
+	}
+	before := h.Snapshot()
+	for i := 0; i < 50; i++ {
+		h.Observe(3000) // bucket 12
+	}
+	after := h.Snapshot()
+	win := after.Sub(before)
+	if win.Count != 50 {
+		t.Fatalf("window count = %d, want 50", win.Count)
+	}
+	if win.Buckets[bucketOf(700)] != 0 {
+		t.Fatalf("window kept %d pre-window observations", win.Buckets[bucketOf(700)])
+	}
+	if win.Buckets[bucketOf(3000)] != 50 {
+		t.Fatalf("window bucket for 3000ns = %d, want 50", win.Buckets[bucketOf(3000)])
+	}
+	if win.SumNs != 50*3000 {
+		t.Fatalf("window sum = %d, want %d", win.SumNs, 50*3000)
+	}
+	// Torn input: the subtrahend claims more than the minuend has.
+	torn := before.Sub(after)
+	if torn.Count != 0 || torn.SumNs != 0 {
+		t.Fatalf("reverse Sub went negative: count=%d sum=%d", torn.Count, torn.SumNs)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var h Hist
+	for i := 0; i < 90; i++ {
+		h.Observe(700) // bucket [512, 1024)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // far above any reasonable target
+	}
+	s := h.Snapshot()
+	if got := s.FractionBelow(1 << 30); got != 1 {
+		t.Fatalf("FractionBelow(huge) = %v, want 1", got)
+	}
+	if got := s.FractionBelow(1024); got < 0.85 || got > 0.95 {
+		t.Fatalf("FractionBelow(1024) = %v, want ~0.9", got)
+	}
+	if got := s.FractionBelow(1); got > 0.01 {
+		t.Fatalf("FractionBelow(1) = %v, want ~0", got)
+	}
+	var empty HistSnapshot
+	if got := empty.FractionBelow(1000); got != 1 {
+		t.Fatalf("empty FractionBelow = %v, want 1 (no ops, no misses)", got)
+	}
+	// The straddling bucket interpolates: a target in the middle of the
+	// only occupied bucket yields a fraction strictly inside (0, 1).
+	if got := s.FractionBelow(768); got <= 0 || got >= 0.9 {
+		t.Fatalf("straddling FractionBelow = %v, want interpolated in (0, 0.9)", got)
+	}
+}
+
 func TestQuantileConsistentSnapshot(t *testing.T) {
 	var h Hist
 	for i := 0; i < 1000; i++ {

@@ -217,6 +217,26 @@ func (s Snapshot) Add(o Snapshot) Snapshot {
 	return out
 }
 
+// Sub returns the field-wise difference s - o: the counter activity
+// between two snapshots of the same node (or aggregate). Latency
+// histograms subtract bucket-wise when both sides carry them; a
+// one-sided histogram passes through unchanged (the window opened or
+// closed across a tracing toggle, which never happens mid-run).
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	out := s
+	ov := reflect.ValueOf(&o).Elem()
+	outv := reflect.ValueOf(&out).Elem()
+	for _, f := range fieldPlan {
+		fv := outv.Field(f.snapIdx)
+		fv.SetInt(fv.Int() - ov.Field(f.snapIdx).Int())
+	}
+	if s.Lat != nil && o.Lat != nil {
+		d := s.Lat.Sub(*o.Lat)
+		out.Lat = &d
+	}
+	return out
+}
+
 // Sum aggregates a slice of snapshots.
 func Sum(snaps []Snapshot) Snapshot {
 	var total Snapshot

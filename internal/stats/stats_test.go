@@ -25,6 +25,42 @@ func TestSnapshotAndAdd(t *testing.T) {
 	}
 }
 
+// Sub must invert Add over every counter in the field plan, and
+// produce the bucket-wise latency window when both sides carry
+// histograms.
+func TestSnapshotSub(t *testing.T) {
+	var n Node
+	n.MsgsSent.Store(10)
+	n.Reads.Store(3)
+	before := n.Snapshot()
+	n.MsgsSent.Add(7)
+	n.Writes.Add(2)
+	after := n.Snapshot()
+	d := after.Sub(before)
+	if d.MsgsSent != 7 || d.Writes != 2 || d.Reads != 0 {
+		t.Fatalf("Sub delta wrong: %+v", d)
+	}
+	// Round trip: before + (after - before) == after on every field.
+	if got := before.Add(d); got.String() != after.String() {
+		t.Fatalf("Add(Sub) round trip: got %s, want %s", got, after)
+	}
+	// Histogram windows subtract bucket-wise.
+	n.Lat = &LatHists{}
+	n.Lat.Op.Observe(1000)
+	mid := n.Snapshot()
+	n.Lat.Op.Observe(5000)
+	end := n.Snapshot()
+	win := end.Sub(mid)
+	if win.Lat == nil || win.Lat.Op.Count != 1 {
+		t.Fatalf("latency window not carried: %+v", win.Lat)
+	}
+	// One-sided histograms pass through rather than inventing a delta.
+	onesided := end.Sub(before)
+	if onesided.Lat == nil || onesided.Lat.Op.Count != 2 {
+		t.Fatalf("one-sided Sub dropped the histogram: %+v", onesided.Lat)
+	}
+}
+
 func TestFaults(t *testing.T) {
 	s := Snapshot{ReadFaults: 2, WriteFaults: 5}
 	if s.Faults() != 7 {

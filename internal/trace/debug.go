@@ -1,11 +1,16 @@
 package trace
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -21,6 +26,11 @@ type DebugConfig struct {
 	Node   int32
 	Stats  func() stats.Snapshot // required
 	Tracer *Tracer               // may be nil (tracing disabled)
+	// Extra mounts additional routes (path -> handler) on the debug
+	// mux and lists them on the index page. The metrics layer uses
+	// this to attach /metrics and /metrics.json without this package
+	// importing it.
+	Extra map[string]http.Handler
 }
 
 // DebugServer is a running debug endpoint.
@@ -47,12 +57,21 @@ func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(v)
 	}
+	extraRoutes := make([]string, 0, len(cfg.Extra))
+	for path := range cfg.Extra {
+		extraRoutes = append(extraRoutes, path)
+	}
+	sort.Strings(extraRoutes)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintf(w, "dsm debug endpoint, node %d\n\n/stats\n/histograms\n/trace\n/trace?text=1\n/debug/pprof/\n", cfg.Node)
+		fmt.Fprintf(w, "dsm debug endpoint, node %d\n\n/stats\n/histograms\n/trace\n/trace?text=1\n", cfg.Node)
+		for _, p := range extraRoutes {
+			fmt.Fprintf(w, "%s\n", p)
+		}
+		fmt.Fprintf(w, "/debug/pprof/\n")
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		s := cfg.Stats()
@@ -68,6 +87,10 @@ func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 		writeJSON(w, map[string]any{"node": cfg.Node, "enabled": true, "classes": HistogramSummaries(*s.Lat)})
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Tracer == nil {
+			writeJSON(w, map[string]any{"node": cfg.Node, "enabled": false})
+			return
+		}
 		st := cfg.Tracer.Stream()
 		if r.URL.Query().Get("text") != "" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -76,21 +99,36 @@ func ServeDebug(addr string, cfg DebugConfig) (*DebugServer, error) {
 		}
 		writeJSON(w, st)
 	})
+	for path, h := range cfg.Extra {
+		mux.Handle(path, h)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("trace: debug server %s: %v", ln.Addr(), err)
+		}
+	}()
 	return &DebugServer{ln: ln, srv: srv}, nil
 }
 
 // Addr returns the bound listen address (useful with port 0).
 func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close gracefully stops the server, letting in-flight scrapes finish
+// within a short bound before the listener is torn down.
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}
 
 // fieldMap flattens a snapshot's counters into a name->value map.
 func fieldMap(s stats.Snapshot) map[string]int64 {
